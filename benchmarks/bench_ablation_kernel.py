@@ -1,0 +1,96 @@
+"""Ablation — hydrodynamic kernel: RPY (the paper) vs Oseen/Stokeslet.
+
+The related-work Stokesian PME codes ([15]-[17]) sum the Stokeslet
+(Oseen) tensor; the paper's contribution is PME for the *RPY* tensor,
+"the positive-definite regularization ... widely used in BD".  This
+ablation quantifies why the distinction matters for Brownian dynamics:
+
+* both kernels cost the same through the PME machinery (the influence
+  scalar changes, nothing else),
+* they agree in the far field but diverge at close range,
+* the Oseen mobility loses positive definiteness for near-contact
+  pairs — at which point Brownian displacements (a matrix square root)
+  are no longer defined, while RPY stays SPD for every configuration.
+
+Run ``python benchmarks/bench_ablation_kernel.py`` for the table.
+"""
+
+import numpy as np
+
+from repro import Box, PMEOperator, PMEParams
+from repro.bench import measure_seconds, print_table
+from repro.rpy.ewald import EwaldSummation
+from repro.systems import make_suspension
+
+
+def timing_rows(n=400):
+    """PME application cost per kernel (should be ~identical)."""
+    susp = make_suspension(n, 0.2, seed=0)
+    rows = []
+    f = np.random.default_rng(0).standard_normal(3 * n)
+    for kernel in ("rpy", "oseen"):
+        op = PMEOperator(susp.positions, susp.box,
+                         PMEParams(xi=1.0, r_max=4.0, K=48, p=6,
+                                   kernel=kernel))
+        t = measure_seconds(lambda: op.apply(f), repeats=3, warmup=1)
+        rows.append([kernel, t])
+    return rows
+
+
+def definiteness_rows():
+    """Minimum mobility eigenvalue vs pair separation, both kernels."""
+    box = Box(20.0)
+    rows = []
+    for gap in (3.0, 2.0, 1.5, 1.0, 0.5):
+        r = np.array([[5.0, 5.0, 5.0], [5.0 + gap, 5.0, 5.0]])
+        row = [gap]
+        for kernel in ("rpy", "oseen"):
+            m = EwaldSummation(box, tol=1e-8, kernel=kernel).matrix(r)
+            row.append(float(np.linalg.eigvalsh(m).min()))
+        rows.append(row)
+    return rows
+
+
+def main():
+    print_table("Ablation: PME application cost per kernel (n=400, K=48, "
+                "p=6)",
+                ["kernel", "t apply (s)"], timing_rows())
+    print_table("Ablation: minimum mobility eigenvalue vs pair separation",
+                ["separation (a)", "min eig RPY", "min eig Oseen"],
+                definiteness_rows())
+    print("RPY stays positive definite at any separation (Brownian "
+          "displacements always\ndefined); the Oseen kernel goes "
+          "indefinite near contact — the reason the paper\nbuilds PME "
+          "for the RPY tensor.")
+
+
+def test_rpy_kernel_apply(benchmark):
+    susp = make_suspension(400, 0.2, seed=0)
+    op = PMEOperator(susp.positions, susp.box,
+                     PMEParams(xi=1.0, r_max=4.0, K=48, p=6))
+    f = np.random.default_rng(0).standard_normal(3 * 400)
+    benchmark(op.apply, f)
+
+
+def test_oseen_kernel_apply(benchmark):
+    susp = make_suspension(400, 0.2, seed=0)
+    op = PMEOperator(susp.positions, susp.box,
+                     PMEParams(xi=1.0, r_max=4.0, K=48, p=6,
+                               kernel="oseen"))
+    f = np.random.default_rng(0).standard_normal(3 * 400)
+    benchmark(op.apply, f)
+
+
+def test_kernel_ablation_shapes(benchmark):
+    """Equal cost; RPY SPD everywhere, Oseen indefinite near contact."""
+    t_rows, d_rows = benchmark.pedantic(
+        lambda: (timing_rows(n=200), definiteness_rows()),
+        rounds=1, iterations=1)
+    t_rpy, t_oseen = t_rows[0][1], t_rows[1][1]
+    assert 0.5 < t_rpy / t_oseen < 2.0
+    assert all(row[1] > 0 for row in d_rows)            # RPY SPD
+    assert min(row[2] for row in d_rows) < 0            # Oseen fails
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Fig. 9 — hybrid (CPU + 2 Xeon Phi) vs CPU-only BD step.
+
+The paper's hybrid implementation averages 2.5x over CPU-only and
+exceeds 3.5x for the largest configurations, with only marginal gains
+for small ones (offload overhead plus inefficient small-mesh FFTs on
+KNC).
+
+The schedule (Section IV.E static partitioning balanced by the
+Section IV.D model) is executed for real on the host — its numerical
+output is verified identical to the plain operator — while the
+per-device durations come from the Table I machine models (DESIGN.md,
+"Substitutions").
+
+Run ``python benchmarks/bench_fig9_hybrid.py`` for the table.
+"""
+
+import numpy as np
+
+from repro import Box, PMEOperator, tune_parameters
+from repro.bench import bench_scale, cached_suspension, print_table
+from repro.parallel.hybrid import HybridScheduler
+
+CI_COUNTS = [1000, 5000, 20000, 100000, 500000]
+PAPER_COUNTS = [1000, 5000, 10000, 50000, 100000, 200000, 500000]
+LAMBDA_RPY = 16
+
+
+def experiment_rows(counts=None):
+    """(n, K, vectors per device, cpu-only s, hybrid s, speedup)."""
+    counts = counts or (PAPER_COUNTS if bench_scale() == "paper"
+                        else CI_COUNTS)
+    scheduler = HybridScheduler()
+    rows = []
+    for n in counts:
+        box = Box.for_volume_fraction(n, 0.2)
+        params = tune_parameters(n, box, target_ep=1e-3)
+        density = n * (4.0 / 3.0) * np.pi * params.r_max ** 3 / box.volume
+        plan = scheduler.plan_block(n, params.K, params.p, density,
+                                    LAMBDA_RPY)
+        rows.append([n, params.K,
+                     "/".join(str(c) for c in plan.assignments),
+                     plan.cpu_only_time, plan.hybrid_time, plan.speedup])
+    return rows
+
+
+def main():
+    rows = experiment_rows()
+    print_table(
+        f"Fig. 9: hybrid CPU+2xKNC vs CPU-only, block of {LAMBDA_RPY} PME "
+        "vectors (modeled schedule)",
+        ["n", "K", "vectors cpu/knc0/knc1", "cpu-only (s)", "hybrid (s)",
+         "speedup"],
+        rows)
+    speedups = [r[-1] for r in rows]
+    print(f"mean speedup {np.mean(speedups):.2f}x, "
+          f"max {max(speedups):.2f}x")
+
+
+def test_hybrid_execution_correct_and_timed(benchmark):
+    """Host execution of the hybrid schedule equals the plain operator."""
+    n = 1000
+    susp = cached_suspension(n)
+    params = tune_parameters(n, susp.box, target_ep=1e-2)
+    op = PMEOperator(susp.positions, susp.box, params)
+    scheduler = HybridScheduler()
+    f = np.random.default_rng(0).standard_normal((3 * n, 8))
+    u, plan = benchmark.pedantic(scheduler.execute, args=(op, f),
+                                 rounds=2, iterations=1)
+    np.testing.assert_allclose(u, op.apply(f), rtol=1e-12)
+    assert plan.speedup > 0
+
+
+def test_fig9_speedup_shape(benchmark):
+    """The paper's shape: marginal gains small, >3x for the largest."""
+    rows = benchmark.pedantic(experiment_rows,
+                              args=([1000, 100000, 500000],),
+                              rounds=1, iterations=1)
+    assert rows[0][-1] < rows[-1][-1]
+    assert rows[-1][-1] > 2.5
+
+
+if __name__ == "__main__":
+    main()

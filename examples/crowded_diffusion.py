@@ -1,0 +1,60 @@
+"""Crowded-suspension diffusion study (a miniature of the paper's Fig. 3).
+
+Sweeps the volume fraction of a monodisperse suspension, measures the
+diffusion coefficient at zero lag (which the RPY model predicts to be
+independent of crowding) and at finite lag (where caging and
+hydrodynamic correlations suppress it), and prints the comparison with
+theory.  Also reports the pair correlation function's contact value as
+a structural cross-check.
+
+Run:  python examples/crowded_diffusion.py
+"""
+
+import numpy as np
+
+from repro import (
+    Simulation,
+    diffusion_coefficient,
+    finite_size_correction,
+    make_suspension,
+    radial_distribution,
+    short_time_self_diffusion,
+)
+
+N = 200
+DT = 1e-3
+STEPS = 150
+LAG = 40
+
+
+def main():
+    print(f"{'Phi':>5} {'D(0) meas':>10} {'D(0) RPY':>9} "
+          f"{'D(lag) meas':>12} {'virial ref':>11} {'g(2a+)':>7}")
+    for phi in (0.05, 0.15, 0.25, 0.35, 0.45):
+        susp = make_suspension(N, phi, seed=4)
+        sim = Simulation(susp, dt=DT, lambda_rpy=16, seed=5,
+                         target_ep=1e-3, e_k=1e-2)
+        traj, _ = sim.run(n_steps=STEPS, record_interval=1)
+        d0 = diffusion_coefficient(traj, lag_frames=1)
+        dlag = diffusion_coefficient(traj, lag_frames=LAG)
+        fs = finite_size_correction(1.0 / susp.box.length)
+        virial = short_time_self_diffusion(phi) * fs
+
+        # structure: contact value of g(r) from the final configuration
+        final = susp.box.wrap(traj.positions[-1])
+        r_max = min(4.0, susp.box.length / 2 * 0.99)
+        centers, g = radial_distribution(final, susp.box, r_max=r_max,
+                                         n_bins=30)
+        near_contact = g[(centers >= 2.0) & (centers <= 2.4)]
+        g_contact = float(near_contact.max()) if near_contact.size else 0.0
+
+        print(f"{phi:>5.2f} {d0:>10.3f} {fs:>9.3f} {dlag:>12.3f} "
+              f"{virial:>11.3f} {g_contact:>7.2f}")
+
+    print("\nzero-lag D tracks the crowding-independent RPY theory; "
+          "finite-lag D falls\nwith volume fraction; the contact peak of "
+          "g(r) grows with crowding.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Polymer diffusion with hydrodynamics: Zimm vs Rouse scaling.
+
+Without hydrodynamic interactions (Rouse model) the diffusion
+coefficient of a polymer's center of mass is the sum of independent
+bead mobilities, ``D_cm = D_0 / N``.  With hydrodynamics (Zimm model)
+the beads drag each other along, and ``D_cm ~ D_0 / R_h`` decays much
+more slowly with chain length — one of the classic qualitative effects
+the paper's hydrodynamic BD captures and free-draining BD misses.
+
+The script grows self-avoiding bead-spring chains of several lengths,
+runs matrix-free BD with bonded forces, and reports the center-of-mass
+diffusion coefficient against the Rouse prediction.
+
+Run:  python examples/polymer_zimm.py
+"""
+
+import numpy as np
+
+from repro import Box, CompositeForce, HarmonicBonds, MatrixFreeBD, RepulsiveHarmonic
+from repro.systems import bead_spring_chain
+
+BOND_LENGTH = 2.5
+DT = 2e-4
+
+
+def com_diffusion(n_beads, n_steps=240, seed=0):
+    """Center-of-mass diffusion coefficient of one chain."""
+    box = Box(max(40.0, 6.0 * BOND_LENGTH * n_beads ** 0.6))
+    chain, bonds = bead_spring_chain(n_beads, BOND_LENGTH, box, seed=seed)
+    forces = CompositeForce(
+        HarmonicBonds(box, bonds, stiffness=100.0, rest_length=BOND_LENGTH),
+        RepulsiveHarmonic(box),
+    )
+    bd = MatrixFreeBD(box=box, force_field=forces, dt=DT, lambda_rpy=20,
+                      seed=seed + 1, target_ep=1e-2, e_k=1e-2)
+    com_track = []
+    bd.run(chain.positions, n_steps,
+           callback=lambda s, w, u: com_track.append(u.mean(axis=0)))
+    com = np.array(com_track)
+    # D from the MSD of the COM over a modest lag
+    lag = 40
+    diffs = com[lag:] - com[:-lag]
+    msd = (diffs ** 2).sum(axis=1).mean()
+    return msd / (6.0 * lag * DT)
+
+
+def main():
+    print(f"{'N beads':>8} {'D_cm/D0':>9} {'Rouse 1/N':>10} "
+          f"{'enhancement':>12}")
+    for n_beads in (4, 8, 16):
+        d = com_diffusion(n_beads)
+        rouse = 1.0 / n_beads
+        print(f"{n_beads:>8} {d:>9.3f} {rouse:>10.3f} {d / rouse:>11.2f}x")
+    print("\nWith hydrodynamic interactions the chain diffuses faster than "
+          "the free-draining\n(Rouse) prediction, and the enhancement grows "
+          "with chain length — Zimm behaviour.")
+
+
+if __name__ == "__main__":
+    main()

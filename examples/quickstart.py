@@ -1,0 +1,47 @@
+"""Quickstart: hydrodynamic Brownian dynamics in ~20 lines.
+
+Builds a 300-particle suspension at volume fraction 0.2, runs the
+paper's matrix-free BD algorithm (PME mobility + block Krylov Brownian
+displacements), and measures the short-time diffusion coefficient,
+comparing it with the periodic-box theory.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Simulation,
+    diffusion_coefficient,
+    finite_size_correction,
+    make_suspension,
+)
+
+
+def main():
+    # 1. a monodisperse suspension (box sized for the volume fraction)
+    susp = make_suspension(n=300, volume_fraction=0.2, seed=0)
+    print(f"system: n={susp.n}, Phi={susp.volume_fraction:.2f}, "
+          f"L={susp.box.length:.2f}a, min separation "
+          f"{susp.min_separation():.2f}a")
+
+    # 2. matrix-free BD (Algorithm 2 of the paper): PME parameters are
+    #    auto-tuned for the target accuracy e_p, Krylov tolerance e_k
+    sim = Simulation(susp, algorithm="matrix-free", dt=1e-3,
+                     lambda_rpy=16, seed=1, target_ep=1e-3, e_k=1e-2)
+
+    # 3. propagate and record
+    traj, stats = sim.run(n_steps=160, record_interval=1)
+    print(f"ran {stats.n_steps} steps "
+          f"({stats.seconds_per_step * 1e3:.1f} ms/step, "
+          f"{stats.mobility_updates} mobility updates, "
+          f"Krylov iterations per update: {stats.krylov_iterations})")
+
+    # 4. analyze: short-time diffusion vs the RPY periodic-box theory
+    d_measured = diffusion_coefficient(traj, lag_frames=1)
+    d_theory = finite_size_correction(1.0 / susp.box.length)
+    print(f"D(tau->0) measured = {d_measured:.3f} D0, "
+          f"theory = {d_theory:.3f} D0 "
+          f"(deviation {abs(d_measured - d_theory) / d_theory:.1%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Sedimenting cluster: collective hydrodynamics in action.
+
+A compact cluster of spheres settles *faster* than an isolated sphere
+under the same per-particle force, because each particle is dragged
+along by the flow fields of its neighbors — the canonical demonstration
+that hydrodynamic interactions change collective dynamics qualitatively
+(the motivation of the paper's introduction).
+
+The script drops (a) a single sphere and (b) a 64-particle cluster in
+a large periodic box, pulls both with the same body force at nearly
+zero temperature, and compares settling speeds.  Expected: the cluster
+settles several times faster, approaching the Stokes velocity of an
+equivalent large sphere.
+
+Run:  python examples/sedimentation.py
+"""
+
+import numpy as np
+
+from repro import Box, ConstantForce, FluidParams, MatrixFreeBD, Suspension
+from repro.pme import PMEParams
+from repro.systems.lattice import fcc_positions
+
+
+def settle_speed(positions, box, n_steps=10, dt=5e-4):
+    """Mean settling speed under a unit -z force per particle."""
+    fluid = FluidParams(kT=1e-18)           # effectively deterministic
+    bd = MatrixFreeBD(
+        box=box, fluid=fluid,
+        force_field=ConstantForce(np.array([0.0, 0.0, -1.0])),
+        dt=dt, lambda_rpy=n_steps, seed=0,
+        pme_params=PMEParams(xi=0.5, r_max=8.0, K=64, p=6))
+    final, _ = bd.run(positions, n_steps)
+    dz = final[:, 2] - np.asarray(positions)[:, 2]
+    return float(-dz.mean() / (n_steps * dt))
+
+
+def main():
+    box = Box(80.0)    # large box: periodic image effects are mild
+
+    single = np.array([[40.0, 40.0, 40.0]])
+    v_single = settle_speed(single, box)
+
+    # a compact FCC cluster of 64 touching-ish spheres around the center
+    cluster = fcc_positions(64, 10.2) + 35.0
+    susp = Suspension(cluster, box, FluidParams())
+    print(f"cluster: {susp.n} particles, min separation "
+          f"{susp.min_separation():.2f}a, radius ~{10.2 / 2 * 1.7:.0f}a")
+    v_cluster = settle_speed(cluster, box)
+
+    print(f"single sphere settling speed : {v_single:.3f} (Stokes ~ mu0 F"
+          " = 1 minus periodic correction)")
+    print(f"64-sphere cluster speed      : {v_cluster:.3f}")
+    print(f"collective enhancement       : {v_cluster / v_single:.2f}x")
+    print("\nWith hydrodynamic interactions the cluster falls much faster "
+          "than an isolated\nsphere — neglect HI and both would settle at "
+          "identical speeds.")
+
+
+if __name__ == "__main__":
+    main()

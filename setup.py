@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` also works on minimal environments that lack the
+``wheel`` package (pip falls back to the legacy ``setup.py develop``
+path, which needs no wheel building).
+"""
+
+from setuptools import setup
+
+setup()

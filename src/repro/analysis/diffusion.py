@@ -1,0 +1,78 @@
+"""Translational diffusion coefficients (paper Eq. 12) and theory.
+
+``D(tau) = MSD(tau) / (6 tau)`` estimated from trajectories, plus the
+reference values the paper's Table II and Fig. 3 compare against: the
+short-time self-diffusion virial series of a hard-sphere suspension
+with RPY-level hydrodynamics and the periodic finite-size correction.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..core.simulation import Trajectory
+from .msd import mean_squared_displacement
+
+__all__ = ["diffusion_coefficient", "short_time_self_diffusion",
+           "finite_size_correction"]
+
+
+def diffusion_coefficient(trajectory: Trajectory, lag_frames: int = 1,
+                          ) -> float:
+    """Estimate ``D(tau)`` from a trajectory at lag ``tau = lag_frames``
+    frame intervals (paper Eq. 12).
+
+    Short lags measure the *short-time* diffusion coefficient the
+    hydrodynamic theory predicts; the paper's Table II uses exactly this
+    observable to quantify algorithmic error.
+    """
+    if lag_frames < 1:
+        raise ConfigurationError(f"lag_frames must be >= 1, got {lag_frames}")
+    if trajectory.n_frames <= lag_frames:
+        raise ConfigurationError(
+            f"trajectory has {trajectory.n_frames} frames, need more than "
+            f"lag_frames={lag_frames}")
+    msd = mean_squared_displacement(trajectory.positions, max_lag=lag_frames)
+    tau = lag_frames * trajectory.dt_frame
+    return float(msd[lag_frames] / (6.0 * tau))
+
+
+def short_time_self_diffusion(volume_fraction: float) -> float:
+    """Theoretical ``D_s / D_0`` of a hard-sphere suspension.
+
+    The virial expansion of the short-time self-diffusion coefficient
+    with far-field (RPY-level) hydrodynamics::
+
+        D_s / D_0 = 1 - 1.8315 Phi + 0.88 Phi^2
+
+    (Batchelor's two-body coefficient -1.8315; the positive quadratic
+    term from three-body terms, cf. Beenakker & Mazur).  Accurate to a
+    few percent up to ``Phi ~ 0.4`` — the regime of the paper's Fig. 3,
+    whose qualitative statement ("diffusion coefficients are smaller
+    for systems with higher volume fractions") this reproduces.
+    """
+    if not (0 <= volume_fraction < 0.74):
+        raise ConfigurationError(
+            f"volume_fraction must be in [0, 0.74), got {volume_fraction}")
+    phi = volume_fraction
+    return 1.0 - 1.8315 * phi + 0.88 * phi * phi
+
+
+def finite_size_correction(radius_over_box: float) -> float:
+    """Periodic-box correction factor for the self-diffusion coefficient.
+
+    A particle diffusing in a periodic box interacts hydrodynamically
+    with its own images; for a cubic lattice of images::
+
+        D_PBC / D_0 = 1 - 2.837297 (a/L) + (4 pi / 3) (a/L)^3 + O((a/L)^6)
+
+    (Hasimoto constant 2.837297).  The test suite validates the Ewald
+    implementation against this expansion to eight digits.
+    """
+    x = float(radius_over_box)
+    if not (0 <= x < 0.5):
+        raise ConfigurationError(f"radius/box must be in [0, 0.5), got {x}")
+    return 1.0 - 2.837297 * x + (4.0 * math.pi / 3.0) * x ** 3

@@ -1,0 +1,47 @@
+"""Time-dependent diffusion analysis.
+
+``D(tau)`` (paper Eq. 12) evaluated across a range of lags at once —
+the full curve distinguishes the crowding-independent short-time RPY
+limit from the suppressed long-time behaviour (see the Fig. 3
+benchmark discussion in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..core.simulation import Trajectory
+from .msd import mean_squared_displacement
+
+__all__ = ["diffusion_vs_lag"]
+
+
+def diffusion_vs_lag(trajectory: Trajectory, max_lag: int | None = None
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """``D(tau)`` for all lags up to ``max_lag`` frame intervals.
+
+    Parameters
+    ----------
+    trajectory:
+        A recorded trajectory (uniform frame spacing).
+    max_lag:
+        Largest lag in frames (default: half the trajectory, where
+        time-origin averaging still has decent statistics).
+
+    Returns
+    -------
+    (tau, D):
+        Lag times and the corresponding ``MSD(tau) / (6 tau)``; both
+        arrays start at lag 1.
+    """
+    t = trajectory.n_frames
+    if t < 2:
+        raise ConfigurationError("need at least 2 frames")
+    if max_lag is None:
+        max_lag = max(1, (t - 1) // 2)
+    max_lag = min(max_lag, t - 1)
+    msd = mean_squared_displacement(trajectory.positions, max_lag=max_lag)
+    lags = np.arange(1, max_lag + 1)
+    tau = lags * trajectory.dt_frame
+    return tau, msd[1:] / (6.0 * tau)

@@ -1,0 +1,34 @@
+"""Statistical utilities for trajectory observables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["block_average"]
+
+
+def block_average(samples: np.ndarray, n_blocks: int = 10
+                  ) -> tuple[float, float]:
+    """Block-averaged mean and standard error of a correlated series.
+
+    Splits the series into ``n_blocks`` contiguous blocks, averages each
+    and reports the mean of block means with its standard error — the
+    standard estimator for time-correlated BD observables.
+
+    Returns
+    -------
+    (mean, stderr)
+    """
+    x = np.asarray(samples, dtype=np.float64).ravel()
+    if n_blocks < 2:
+        raise ConfigurationError(f"n_blocks must be >= 2, got {n_blocks}")
+    if x.size < n_blocks:
+        raise ConfigurationError(
+            f"need at least {n_blocks} samples, got {x.size}")
+    usable = (x.size // n_blocks) * n_blocks
+    blocks = x[:usable].reshape(n_blocks, -1).mean(axis=1)
+    mean = float(blocks.mean())
+    stderr = float(blocks.std(ddof=1) / np.sqrt(n_blocks))
+    return mean, stderr

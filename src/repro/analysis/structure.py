@@ -1,0 +1,85 @@
+"""Static structure factor ``S(k)`` of periodic configurations.
+
+``S(k) = |sum_i exp(-i k . r_i)|^2 / n`` shell-averaged over the
+wavevectors of the periodic box — the reciprocal-space complement of
+``g(r)`` and a natural consumer of the PME mesh machinery: the
+structure factor is evaluated by *spreading unit charges* with the
+same B-spline machinery and FFT used by the mobility operator, with
+the ``b(k)`` deconvolution giving mesh-accuracy spectra at
+``O(n p^3 + K^3 log K)`` cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry.box import Box
+from ..pme.bspline import euler_spline_coefficients
+from ..pme.mesh import Mesh
+from ..pme.spread import InterpolationMatrix
+from ..utils.validation import as_positions
+
+__all__ = ["static_structure_factor"]
+
+
+def static_structure_factor(positions, box: Box, K: int = 64, p: int = 6,
+                            n_bins: int = 40
+                            ) -> tuple[np.ndarray, np.ndarray]:
+    """Shell-averaged ``S(k)`` via mesh spreading and one FFT.
+
+    Parameters
+    ----------
+    positions:
+        Particle positions ``(n, 3)``.
+    box:
+        Periodic box.
+    K:
+        Mesh dimension (resolves wavenumbers up to ``pi K / L``; modes
+        beyond ~half the Nyquist are discarded as interpolation-noisy).
+    p:
+        B-spline order for the charge spreading.
+    n_bins:
+        Number of ``|k|`` shells.
+
+    Returns
+    -------
+    (k, S):
+        Shell-center wavenumbers and the structure factor
+        (``S -> 1`` for an ideal gas at large ``k``).
+    """
+    r = as_positions(positions)
+    n = r.shape[0]
+    if n < 2:
+        raise ConfigurationError("S(k) needs at least 2 particles")
+    mesh = Mesh(box, K)
+    interp = InterpolationMatrix(r, box, K, p)
+    density = interp.spread(np.ones(n)).reshape(mesh.shape)
+    spec = np.fft.rfftn(density)
+
+    # deconvolve the B-spline smoothing: the SPME identity gives
+    # sum_i exp(-i k.r_i) ~ conj(b1 b2 b3)(k) * DFT[spread charges](k),
+    # and |b| > 1 undoes the spline attenuation
+    b = euler_spline_coefficients(K, p)
+    bz = b[: K // 2 + 1]
+    correction = (b[:, None, None] * b[None, :, None] * bz[None, None, :])
+    amp2 = np.abs(spec * correction) ** 2
+
+    k2 = mesh.k2_grid()
+    weight = mesh.hermitian_weight()
+    k_mag = np.sqrt(k2).ravel()
+    s_vals = (amp2 / n).ravel()
+    w = weight.ravel()
+
+    # keep resolved, nonzero modes (interpolation noise grows near Nyquist)
+    k_max = 0.5 * mesh.nyquist
+    keep = (k_mag > 0) & (k_mag <= k_max)
+    k_mag, s_vals, w = k_mag[keep], s_vals[keep], w[keep]
+
+    edges = np.linspace(0.0, k_max, n_bins + 1)
+    idx = np.clip(np.digitize(k_mag, edges) - 1, 0, n_bins - 1)
+    sums = np.bincount(idx, weights=w * s_vals, minlength=n_bins)
+    counts = np.bincount(idx, weights=w, minlength=n_bins)
+    valid = counts > 0
+    centers = 0.5 * (edges[1:] + edges[:-1])
+    return centers[valid], sums[valid] / counts[valid]

@@ -1,0 +1,26 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Each module in the top-level ``benchmarks/`` directory regenerates one
+table or figure of the paper (see DESIGN.md's experiment index).  The
+helpers here keep those modules small: scale selection (CI-sized by
+default, paper-sized via ``REPRO_BENCH_SCALE=paper``), cached system
+construction, wall-clock measurement and aligned-table printing.
+"""
+
+from .harness import (
+    bench_scale,
+    cached_suspension,
+    format_bytes,
+    format_table,
+    measure_seconds,
+    print_table,
+)
+
+__all__ = [
+    "bench_scale",
+    "cached_suspension",
+    "format_bytes",
+    "format_table",
+    "measure_seconds",
+    "print_table",
+]

@@ -1,0 +1,77 @@
+"""Benchmark harness utilities (scaling, caching, measuring, printing)."""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import lru_cache
+
+from ..systems.suspension import Suspension, make_suspension
+
+__all__ = ["bench_scale", "cached_suspension", "measure_seconds",
+           "format_table", "print_table", "format_bytes"]
+
+
+def bench_scale() -> str:
+    """The active benchmark scale.
+
+    ``"ci"`` (default) keeps every benchmark laptop-sized;
+    ``"paper"`` runs the paper's full problem sizes (set the
+    environment variable ``REPRO_BENCH_SCALE=paper``).
+    """
+    scale = os.environ.get("REPRO_BENCH_SCALE", "ci").lower()
+    if scale not in ("ci", "paper"):
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be 'ci' or 'paper', got {scale!r}")
+    return scale
+
+
+@lru_cache(maxsize=32)
+def cached_suspension(n: int, volume_fraction: float = 0.2,
+                      seed: int = 0) -> Suspension:
+    """A process-wide cached suspension (benchmarks reuse systems)."""
+    return make_suspension(n, volume_fraction, seed=seed)
+
+
+def measure_seconds(fn, repeats: int = 1, warmup: int = 0) -> float:
+    """Best-of-``repeats`` wall-clock seconds of ``fn()``."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count (e.g. ``"1.5 GB"``)."""
+    value = float(nbytes)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024.0 or unit == "TB":
+            return f"{value:.1f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_table(title: str, headers: list[str],
+                 rows: list[list]) -> str:
+    """Render an aligned plain-text table (paper-style)."""
+    str_rows = [[f"{c:.4g}" if isinstance(c, float) else str(c) for c in row]
+                for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in str_rows)) if str_rows
+              else len(h) for i, h in enumerate(headers)]
+    sep = "  "
+    lines = [title, "=" * len(title),
+             sep.join(h.ljust(w) for h, w in zip(headers, widths)),
+             sep.join("-" * w for w in widths)]
+    lines += [sep.join(c.ljust(w) for c, w in zip(row, widths))
+              for row in str_rows]
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Print :func:`format_table` output followed by a blank line."""
+    print(format_table(title, headers, rows))
+    print()

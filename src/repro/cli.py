@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four subcommands cover the common workflows:
+
+* ``simulate`` — run a matrix-free (or Ewald) BD simulation of a
+  monodisperse suspension and write the trajectory to ``.npz``,
+* ``analyze``  — diffusion analysis of a saved trajectory,
+* ``tune``     — print the PME parameters the tuner selects for a
+  system size / accuracy target (one Table III row),
+* ``info``     — version, backend and machine-model summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Matrix-free hydrodynamic Brownian dynamics "
+                    "(Liu & Chow, IPDPS 2014 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a BD simulation")
+    sim.add_argument("-n", "--particles", type=int, default=1000)
+    sim.add_argument("--phi", type=float, default=0.2,
+                     help="volume fraction (default 0.2)")
+    sim.add_argument("--steps", type=int, default=1000)
+    sim.add_argument("--dt", type=float, default=1e-3)
+    sim.add_argument("--algorithm", choices=["matrix-free", "ewald"],
+                     default="matrix-free")
+    sim.add_argument("--lambda-rpy", type=int, default=16)
+    sim.add_argument("--e-k", type=float, default=1e-2,
+                     help="Krylov tolerance (matrix-free)")
+    sim.add_argument("--e-p", type=float, default=1e-3,
+                     help="PME accuracy target (matrix-free)")
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--record-interval", type=int, default=10)
+    sim.add_argument("-o", "--output", default="trajectory.npz")
+
+    ana = sub.add_parser("analyze", help="analyze a saved trajectory")
+    ana.add_argument("trajectory", help="path to a .npz trajectory")
+    ana.add_argument("--max-lag", type=int, default=None)
+
+    tune = sub.add_parser("tune", help="select PME parameters")
+    tune.add_argument("-n", "--particles", type=int, required=True)
+    tune.add_argument("--phi", type=float, default=0.2)
+    tune.add_argument("--e-p", type=float, default=1e-3)
+    tune.add_argument("-p", "--order", type=int, default=6,
+                      help="B-spline order (4, 6 or 8)")
+
+    sub.add_parser("info", help="version and environment summary")
+    return parser
+
+
+def _cmd_simulate(args) -> int:
+    from .core.simulation import Simulation
+    from .core.trajectory_io import save_trajectory
+    from .systems.suspension import make_suspension
+
+    susp = make_suspension(args.particles, args.phi, seed=args.seed)
+    print(f"system: n={susp.n}, Phi={susp.volume_fraction:.3f}, "
+          f"L={susp.box.length:.2f}")
+    kwargs = {}
+    if args.algorithm == "matrix-free":
+        kwargs = dict(e_k=args.e_k, target_ep=args.e_p)
+    sim = Simulation(susp, algorithm=args.algorithm, dt=args.dt,
+                     lambda_rpy=args.lambda_rpy, seed=args.seed + 1,
+                     **kwargs)
+    traj, stats = sim.run(n_steps=args.steps,
+                          record_interval=args.record_interval)
+    save_trajectory(args.output, traj)
+    print(f"ran {stats.n_steps} steps in {stats.timers.total:.1f} s "
+          f"({stats.seconds_per_step * 1e3:.1f} ms/step); "
+          f"{traj.n_frames} frames -> {args.output}")
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from .analysis.diffusion import (
+        diffusion_coefficient,
+        finite_size_correction,
+    )
+    from .analysis.dynamics import diffusion_vs_lag
+    from .core.trajectory_io import load_trajectory
+
+    traj = load_trajectory(args.trajectory)
+    print(f"trajectory: {traj.n_frames} frames, {traj.n_particles} "
+          f"particles, box {traj.box_length:.2f}")
+    d0 = diffusion_coefficient(traj, lag_frames=1)
+    fs = finite_size_correction(traj.fluid.radius / traj.box_length)
+    print(f"D(tau->0) = {d0:.4f} (RPY periodic theory "
+          f"{fs * traj.fluid.D0:.4f})")
+    tau, d = diffusion_vs_lag(traj, max_lag=args.max_lag)
+    show = np.unique(np.linspace(0, tau.size - 1, 8).astype(int))
+    for i in show:
+        print(f"  D(tau={tau[i]:.4g}) = {d[i]:.4f}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from .geometry.box import Box
+    from .pme.tuning import tune_parameters
+
+    box = Box.for_volume_fraction(args.particles, args.phi)
+    params = tune_parameters(args.particles, box, target_ep=args.e_p,
+                             p=args.order)
+    print(f"n={args.particles}  Phi={args.phi}  L={box.length:.2f}")
+    print(f"  K={params.K}  p={params.p}  r_max={params.r_max:.2f}  "
+          f"alpha={params.xi:.4f}")
+    from .perfmodel import PMECostModel, WESTMERE_EP
+    model = PMECostModel(WESTMERE_EP)
+    print(f"  predicted reciprocal time/apply (Westmere model): "
+          f"{model.t_reciprocal(args.particles, params.K, params.p) * 1e3:.2f} ms")
+    return 0
+
+
+def _cmd_info(_args) -> int:
+    import numpy
+    import scipy
+
+    from . import __version__
+    from .perfmodel import HOST
+
+    print(f"repro {__version__} — matrix-free hydrodynamic BD "
+          "(Liu & Chow, IPDPS 2014)")
+    print(f"numpy {numpy.__version__}, scipy {scipy.__version__}")
+    print(f"host model: {HOST.name}, "
+          f"B={HOST.stream_bandwidth_gbs:.1f} GB/s")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "simulate": _cmd_simulate,
+        "analyze": _cmd_analyze,
+        "tune": _cmd_tune,
+        "info": _cmd_info,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,303 @@
+"""The two BD propagation algorithms of the paper.
+
+Both integrate the Ermak-McCammon equation (paper Eq. 1) with the
+divergence term zero (true for the RPY tensor)::
+
+    r(t + dt) = r(t) + M f dt + g,   g ~ N(0, 2 kT dt M)
+
+and both exploit that the mobility changes slowly: the mobility
+representation is rebuilt only every ``lambda_RPY`` steps and the
+``lambda_RPY`` Brownian displacement vectors of the coming steps are
+generated together (Section II.D).
+
+* :class:`EwaldBD` — **Algorithm 1**: dense Ewald matrix, Cholesky
+  factorization, ``O(n^2)`` memory, ``O(n^3)`` factor.
+* :class:`MatrixFreeBD` — **Algorithm 2**: PME operator, block Krylov
+  displacements, ``O(n)`` memory, ``O(n log n)`` per application.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry.box import Box
+from ..pme.operator import PMEOperator, PMEParams
+from ..pme.tuning import tune_parameters
+from ..rpy.ewald import EwaldSummation
+from ..units import FluidParams, REDUCED
+from ..utils.timing import PhaseTimer
+from ..utils.validation import as_positions
+from .brownian import CholeskyBrownianGenerator, KrylovBrownianGenerator
+from .forces import ForceField
+
+__all__ = ["EwaldBD", "MatrixFreeBD", "BDStepStats"]
+
+
+@dataclass
+class BDStepStats:
+    """Aggregate statistics of a :meth:`BrownianDynamicsBase.run` call.
+
+    Attributes
+    ----------
+    n_steps:
+        Inner time steps taken.
+    mobility_updates:
+        Number of mobility rebuilds (outer iterations).
+    krylov_iterations:
+        Block-Lanczos iteration counts per outer iteration
+        (matrix-free algorithm only).
+    timers:
+        Phase timer with ``mobility``, ``brownian``, ``forces`` and
+        ``propagate`` phases.
+    """
+
+    n_steps: int = 0
+    mobility_updates: int = 0
+    krylov_iterations: list[int] = field(default_factory=list)
+    timers: PhaseTimer = field(default_factory=PhaseTimer)
+
+    @property
+    def seconds_per_step(self) -> float:
+        """Mean wall-clock seconds per inner time step."""
+        return self.timers.total / self.n_steps if self.n_steps else 0.0
+
+
+class BrownianDynamicsBase(ABC):
+    """Shared propagation loop of Algorithms 1 and 2.
+
+    Subclasses provide the mobility representation: how it is rebuilt
+    (:meth:`_prepare`), applied (:meth:`_apply_mobility`) and sampled
+    from (:meth:`_generate_displacements`).
+
+    Parameters
+    ----------
+    box, fluid:
+        Geometry and fluid parameters.
+    force_field:
+        Deterministic forces ``f(r)``; ``None`` means force-free
+        (diffusion only).
+    dt:
+        Time step (reduced units: fractions of ``a^2 / D_0``).
+    lambda_rpy:
+        Mobility update interval ``lambda_RPY`` (paper: 10-100).
+    seed:
+        Seed (or generator) for the Brownian noise.
+    """
+
+    def __init__(self, box: Box, fluid: FluidParams = REDUCED,
+                 force_field: ForceField | None = None, dt: float = 1e-3,
+                 lambda_rpy: int = 10,
+                 seed: int | np.random.Generator | None = 0):
+        if dt <= 0:
+            raise ConfigurationError(f"dt must be positive, got {dt}")
+        if lambda_rpy < 1:
+            raise ConfigurationError(
+                f"lambda_rpy must be >= 1, got {lambda_rpy}")
+        self.box = box
+        self.fluid = fluid
+        self.force_field = force_field
+        self.dt = float(dt)
+        self.lambda_rpy = int(lambda_rpy)
+        self.rng = (seed if isinstance(seed, np.random.Generator)
+                    else np.random.default_rng(seed))
+
+    # -- mobility interface, provided by the two algorithms --------------
+
+    @abstractmethod
+    def _prepare(self, positions: np.ndarray) -> None:
+        """Rebuild the mobility representation at ``positions`` (wrapped)."""
+
+    @abstractmethod
+    def _apply_mobility(self, forces_flat: np.ndarray) -> np.ndarray:
+        """``u = M f`` with the current representation."""
+
+    @abstractmethod
+    def _generate_displacements(self, n_cols: int,
+                                stats: BDStepStats) -> np.ndarray:
+        """``(3n, n_cols)`` Brownian displacements for the coming steps."""
+
+    @abstractmethod
+    def mobility_memory_bytes(self) -> int:
+        """Bytes held by the current mobility representation (Fig. 7a)."""
+
+    # -- propagation ------------------------------------------------------
+
+    def run(self, positions, n_steps: int, callback=None,
+            stats: BDStepStats | None = None
+            ) -> tuple[np.ndarray, BDStepStats]:
+        """Propagate ``n_steps`` BD steps from ``positions``.
+
+        Parameters
+        ----------
+        positions:
+            Initial particle positions ``(n, 3)`` (any image).
+        n_steps:
+            Number of inner time steps.
+        callback:
+            Optional ``callback(step, wrapped, unwrapped)`` invoked
+            after every step (step counts from 1).
+        stats:
+            Optional pre-existing stats object to accumulate into.
+
+        Returns
+        -------
+        (unwrapped, stats):
+            Final *unwrapped* positions (for MSD analysis) and the run
+            statistics.  The initial unwrapped positions coincide with
+            the wrapped input.
+        """
+        r = as_positions(positions)
+        n = r.shape[0]
+        wrapped = self.box.wrap(r)
+        unwrapped = wrapped.copy()
+        stats = stats or BDStepStats()
+
+        step = 0
+        while step < n_steps:
+            block = min(self.lambda_rpy, n_steps - step)
+            with stats.timers.phase("mobility"):
+                self._prepare(wrapped)
+            stats.mobility_updates += 1
+            with stats.timers.phase("brownian"):
+                disp = self._generate_displacements(block, stats)
+            for col in range(block):
+                if self.force_field is not None:
+                    with stats.timers.phase("forces"):
+                        f = self.force_field.forces(wrapped).reshape(3 * n)
+                    with stats.timers.phase("propagate"):
+                        drift = self._apply_mobility(f) * self.dt
+                        dr = (drift + disp[:, col]).reshape(n, 3)
+                else:
+                    with stats.timers.phase("propagate"):
+                        dr = disp[:, col].reshape(n, 3)
+                unwrapped += dr
+                wrapped = self.box.wrap(wrapped + dr)
+                step += 1
+                stats.n_steps += 1
+                if callback is not None:
+                    callback(step, wrapped, unwrapped)
+        return unwrapped, stats
+
+
+class EwaldBD(BrownianDynamicsBase):
+    """**Algorithm 1** — conventional Ewald BD (the paper's baseline).
+
+    Builds the dense ``3n x 3n`` mobility every ``lambda_RPY`` steps,
+    Cholesky-factors it, and draws ``lambda_RPY`` correlated
+    displacement vectors with one triangular multiply.
+
+    Parameters
+    ----------
+    ewald_tol:
+        Truncation tolerance of the Ewald series.
+    xi:
+        Optional fixed splitting parameter (``None``: automatic).
+    Remaining parameters as :class:`BrownianDynamicsBase`.
+    """
+
+    def __init__(self, box: Box, fluid: FluidParams = REDUCED,
+                 force_field: ForceField | None = None, dt: float = 1e-3,
+                 lambda_rpy: int = 10,
+                 seed: int | np.random.Generator | None = 0,
+                 ewald_tol: float = 1e-6, xi: float | None = None):
+        super().__init__(box, fluid, force_field, dt, lambda_rpy, seed)
+        self._summation = EwaldSummation(box, fluid=fluid, xi=xi,
+                                         tol=ewald_tol)
+        self._generator = CholeskyBrownianGenerator(fluid.kT, dt)
+        self._matrix: np.ndarray | None = None
+
+    def _prepare(self, positions: np.ndarray) -> None:
+        self._matrix = self._summation.matrix(positions)
+
+    def _apply_mobility(self, forces_flat: np.ndarray) -> np.ndarray:
+        return self._matrix @ forces_flat
+
+    def _generate_displacements(self, n_cols: int,
+                                stats: BDStepStats) -> np.ndarray:
+        z = self.rng.standard_normal((self._matrix.shape[0], n_cols))
+        return self._generator.generate(self._matrix, z)
+
+    def mobility_memory_bytes(self) -> int:
+        if self._matrix is None:
+            return 0
+        # matrix plus its Cholesky factor (LAPACK potrf works on a copy
+        # here; the conventional algorithm stores both)
+        return 2 * self._matrix.nbytes
+
+    @property
+    def mobility_matrix(self) -> np.ndarray | None:
+        """The current dense mobility (``None`` before the first step)."""
+        return self._matrix
+
+
+class MatrixFreeBD(BrownianDynamicsBase):
+    """**Algorithm 2** — the paper's matrix-free BD.
+
+    Every ``lambda_RPY`` steps a fresh :class:`~repro.pme.operator.PMEOperator`
+    is constructed (line 4) and the Brownian displacement block is
+    computed with block Lanczos using only PME products (line 6).
+
+    Parameters
+    ----------
+    pme_params:
+        Explicit PME parameters; if ``None`` they are tuned once for
+        ``target_ep`` at the first :meth:`run` call.
+    target_ep:
+        PME relative-error target used when auto-tuning.
+    e_k:
+        Krylov relative-error tolerance (Table II).
+    store_p:
+        Precompute the interpolation matrix ``P`` (Fig. 4 optimization).
+    neighbor_backend:
+        Pair-search backend for the real-space matrix.
+    Remaining parameters as :class:`BrownianDynamicsBase`.
+    """
+
+    def __init__(self, box: Box, fluid: FluidParams = REDUCED,
+                 force_field: ForceField | None = None, dt: float = 1e-3,
+                 lambda_rpy: int = 10,
+                 seed: int | np.random.Generator | None = 0,
+                 pme_params: PMEParams | None = None, target_ep: float = 1e-3,
+                 e_k: float = 1e-2, store_p: bool = True,
+                 neighbor_backend: str = "cells", max_krylov_iter: int = 200):
+        super().__init__(box, fluid, force_field, dt, lambda_rpy, seed)
+        self.pme_params = pme_params
+        self.target_ep = float(target_ep)
+        self.store_p = bool(store_p)
+        self.neighbor_backend = neighbor_backend
+        self._generator = KrylovBrownianGenerator(fluid.kT, dt, tol=e_k,
+                                                  max_iter=max_krylov_iter)
+        self._operator: PMEOperator | None = None
+
+    def _prepare(self, positions: np.ndarray) -> None:
+        if self.pme_params is None:
+            self.pme_params = tune_parameters(
+                positions.shape[0], self.box, target_ep=self.target_ep,
+                fluid=self.fluid)
+        self._operator = PMEOperator(
+            positions, self.box, self.pme_params, fluid=self.fluid,
+            neighbor_backend=self.neighbor_backend, store_p=self.store_p)
+
+    def _apply_mobility(self, forces_flat: np.ndarray) -> np.ndarray:
+        return self._operator.apply(forces_flat)
+
+    def _generate_displacements(self, n_cols: int,
+                                stats: BDStepStats) -> np.ndarray:
+        z = self.rng.standard_normal((3 * self._operator.n, n_cols))
+        d = self._generator.generate(self._operator.apply, z)
+        stats.krylov_iterations.append(self._generator.last_info.iterations)
+        return d
+
+    def mobility_memory_bytes(self) -> int:
+        if self._operator is None:
+            return 0
+        return self._operator.memory_report()["total"]
+
+    @property
+    def operator(self) -> PMEOperator | None:
+        """The current PME operator (``None`` before the first step)."""
+        return self._operator

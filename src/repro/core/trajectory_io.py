@@ -1,0 +1,57 @@
+"""Trajectory persistence (NumPy ``.npz`` container).
+
+Long BD runs (the paper's Fig. 3 trajectories take hours) need
+checkpointable output; this module round-trips
+:class:`~repro.core.simulation.Trajectory` objects through a single
+compressed ``.npz`` file carrying positions, times, box and fluid
+parameters.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..units import FluidParams
+from .simulation import Trajectory
+
+__all__ = ["save_trajectory", "load_trajectory"]
+
+_FORMAT_VERSION = 1
+
+
+def save_trajectory(path: str | os.PathLike, trajectory: Trajectory) -> None:
+    """Write a trajectory to ``path`` (compressed ``.npz``)."""
+    np.savez_compressed(
+        path,
+        format_version=_FORMAT_VERSION,
+        times=trajectory.times,
+        positions=trajectory.positions,
+        box_length=trajectory.box_length,
+        fluid=np.array([trajectory.fluid.radius, trajectory.fluid.viscosity,
+                        trajectory.fluid.kT]),
+    )
+
+
+def load_trajectory(path: str | os.PathLike) -> Trajectory:
+    """Read a trajectory previously written by :func:`save_trajectory`."""
+    with np.load(path) as data:
+        try:
+            version = int(data["format_version"])
+            times = data["times"]
+            positions = data["positions"]
+            box_length = float(data["box_length"])
+            radius, viscosity, kT = data["fluid"]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"{path} is not a repro trajectory file: missing {exc}"
+            ) from exc
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(
+            f"unsupported trajectory format version {version}")
+    return Trajectory(
+        times=times, positions=positions, box_length=box_length,
+        fluid=FluidParams(radius=float(radius), viscosity=float(viscosity),
+                          kT=float(kT)))

@@ -1,0 +1,53 @@
+"""Exception types used across the :mod:`repro` package.
+
+A small, flat hierarchy: every error raised by this library derives from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while still distinguishing configuration problems from
+numerical failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or operator was configured with invalid parameters.
+
+    Examples: non-positive box length, B-spline order larger than the
+    mesh, a cutoff radius exceeding half the box, or a volume fraction
+    that cannot be packed.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An iterative method failed to reach its tolerance.
+
+    Raised by the (block) Lanczos solvers when the maximum number of
+    iterations is exhausted before the relative-error stopping criterion
+    ``e_k`` is met, and by the PME parameter tuner when no parameter set
+    achieves the requested accuracy within the allowed mesh sizes.
+    """
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None):
+        super().__init__(message)
+        #: Number of iterations performed before giving up (if known).
+        self.iterations = iterations
+        #: Last observed relative residual/error estimate (if known).
+        self.residual = residual
+
+
+class NotPositiveDefiniteError(ReproError):
+    """A matrix expected to be symmetric positive definite was not.
+
+    The RPY mobility matrix is SPD for every particle configuration, so
+    this error indicates either catastrophic particle overlap with
+    regularization disabled or an internal inconsistency.
+    """
+
+
+class OverlapError(ReproError):
+    """Particles overlap in a context where overlap is not allowed."""

@@ -1,0 +1,5 @@
+"""Simulation-box geometry."""
+
+from .box import Box
+
+__all__ = ["Box"]

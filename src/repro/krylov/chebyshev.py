@@ -1,0 +1,174 @@
+"""Chebyshev-polynomial Brownian displacements (Fixman's method).
+
+The alternative matrix-free square root the paper mentions
+(Section III.B, reference [25], Fixman 1986): approximate ``sqrt(x)``
+on the spectral interval ``[l_min, l_max]`` of the SPD mobility by a
+Chebyshev polynomial ``p_m`` and evaluate ``p_m(M) z`` with the
+three-term recurrence — only matrix-vector products are needed, plus
+*eigenvalue estimates*, which is the method's practical drawback
+compared with Lanczos (the Krylov iteration adapts to the spectrum
+automatically).
+
+Implemented here for the ablation benchmark comparing the two methods
+(``benchmarks/bench_ablation_brownian.py``):
+
+* :func:`eigenvalue_bounds` — extremal Ritz values from a short
+  Lanczos run, padded by safety factors,
+* :func:`chebyshev_coefficients` — expansion of ``sqrt`` on the
+  interval (computed at Chebyshev nodes; degree chosen adaptively from
+  the *scalar* sup-norm error, which bounds the matrix-function error
+  on the spectral interval),
+* :func:`chebyshev_sqrt` — the vector evaluation (works on blocks,
+  amortizing the polynomial across all ``lambda_RPY`` vectors).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConvergenceError
+from .lanczos import LanczosInfo
+
+__all__ = ["eigenvalue_bounds", "chebyshev_coefficients", "chebyshev_sqrt"]
+
+
+def eigenvalue_bounds(matvec: Callable[[np.ndarray], np.ndarray], dim: int,
+                      n_iter: int = 25, safety: float = 1.05,
+                      seed: int | np.random.Generator = 0
+                      ) -> tuple[float, float]:
+    """Estimated spectral interval ``[l_min, l_max]`` of an SPD operator.
+
+    Runs ``n_iter`` Lanczos steps from a random vector and returns the
+    extremal Ritz values widened by ``safety`` (Ritz values always lie
+    inside the true spectrum).
+
+    Parameters
+    ----------
+    matvec:
+        The operator application.
+    dim:
+        Operator dimension.
+    n_iter:
+        Lanczos steps (25 is ample for the RPY spectra of interest).
+    safety:
+        Multiplicative widening of both ends.
+    seed:
+        RNG seed or generator for the starting vector.
+    """
+    rng = (seed if isinstance(seed, np.random.Generator)
+           else np.random.default_rng(seed))
+    n_iter = min(n_iter, dim)
+    v = rng.standard_normal(dim)
+    v /= np.linalg.norm(v)
+    basis = [v]
+    alpha: list[float] = []
+    beta: list[float] = []
+    for m in range(n_iter):
+        w = np.array(matvec(basis[-1]), dtype=np.float64, copy=True)
+        a = float(basis[-1] @ w)
+        alpha.append(a)
+        w -= a * basis[-1]
+        if m > 0:
+            w -= beta[-1] * basis[-2]
+        for vb in basis:                       # full reorthogonalization
+            w -= (vb @ w) * vb
+        b = float(np.linalg.norm(w))
+        if b < 1e-12:
+            break
+        beta.append(b)
+        basis.append(w / b)
+    import scipy.linalg
+    ritz = scipy.linalg.eigvalsh_tridiagonal(
+        np.array(alpha), np.array(beta[: len(alpha) - 1]))
+    l_min = float(ritz[0]) / safety
+    l_max = float(ritz[-1]) * safety
+    if l_min <= 0:
+        raise ConvergenceError(
+            f"operator does not look positive definite (Ritz min {ritz[0]})")
+    return l_min, l_max
+
+
+def chebyshev_coefficients(l_min: float, l_max: float, tol: float = 1e-3,
+                           max_degree: int = 512
+                           ) -> np.ndarray:
+    """Chebyshev coefficients of ``sqrt`` on ``[l_min, l_max]``.
+
+    The degree is grown (doubling) until the sampled relative sup-norm
+    error of the polynomial against ``sqrt`` on the interval is below
+    ``tol`` — since ``M`` is SPD with spectrum inside the interval, the
+    same bound holds for ``||p(M) - M^(1/2)||_2``.
+
+    Returns the coefficient array ``c`` with
+    ``p(x) = c_0/2 + sum_{k>=1} c_k T_k(t(x))``.
+    """
+    if not (0 < l_min < l_max):
+        raise ValueError(f"need 0 < l_min < l_max, got [{l_min}, {l_max}]")
+    probe = l_min + (l_max - l_min) * 0.5 * (
+        1 - np.cos(np.linspace(0, np.pi, 513)))
+    sqrt_probe = np.sqrt(probe)
+    degree = 8
+    while degree <= max_degree:
+        nodes = np.cos((np.arange(degree + 1) + 0.5) * np.pi / (degree + 1))
+        x = 0.5 * (l_max - l_min) * nodes + 0.5 * (l_max + l_min)
+        fx = np.sqrt(x)
+        k = np.arange(degree + 1)
+        theta = (np.arange(degree + 1) + 0.5) * np.pi / (degree + 1)
+        c = (2.0 / (degree + 1)) * (np.cos(np.outer(k, theta)) * fx).sum(axis=1)
+        # evaluate on the probe grid via Clenshaw
+        t = (2 * probe - (l_max + l_min)) / (l_max - l_min)
+        b1 = np.zeros_like(t)
+        b2 = np.zeros_like(t)
+        for ck in c[:0:-1]:
+            b1, b2 = 2 * t * b1 - b2 + ck, b1
+        approx = t * b1 - b2 + 0.5 * c[0]
+        err = float(np.max(np.abs(approx - sqrt_probe) / sqrt_probe))
+        if err < tol:
+            return c
+        degree *= 2
+    raise ConvergenceError(
+        f"Chebyshev degree {max_degree} insufficient for tol={tol} on "
+        f"[{l_min:.3g}, {l_max:.3g}] (condition {l_max / l_min:.3g})")
+
+
+def chebyshev_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
+                   z: np.ndarray, l_min: float, l_max: float,
+                   tol: float = 1e-3, max_degree: int = 512
+                   ) -> tuple[np.ndarray, LanczosInfo]:
+    """Approximate ``M^(1/2) z`` with a Chebyshev polynomial of ``M``.
+
+    ``z`` may be a vector ``(d,)`` or a block ``(d, s)``; the
+    recurrence is applied to the whole block at once (one polynomial
+    serves every vector — Fixman's amortization).
+
+    Returns ``(y, info)`` with ``info.iterations`` the polynomial
+    degree and ``info.n_matvecs`` counted per column.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    flat = z.ndim == 1
+    zb = z[:, None] if flat else z
+    c = chebyshev_coefficients(l_min, l_max, tol=tol, max_degree=max_degree)
+    degree = c.size - 1
+    s = zb.shape[1]
+
+    scale = 2.0 / (l_max - l_min)
+    shift = (l_max + l_min) / (l_max - l_min)
+
+    def t_apply(v):
+        """Application of the scaled operator ``t(M) = scale M - shift``."""
+        return scale * np.asarray(matvec(v)) - shift * v
+
+    # Clenshaw recurrence on the block
+    b1 = np.zeros_like(zb)
+    b2 = np.zeros_like(zb)
+    n_matvecs = 0
+    for ck in c[:0:-1]:
+        b1, b2 = 2.0 * t_apply(b1) - b2 + ck * zb, b1
+        n_matvecs += s
+    y = t_apply(b1) - b2 + 0.5 * c[0] * zb
+    n_matvecs += s
+    info = LanczosInfo(iterations=degree, converged=True,
+                       rel_change=tol, n_matvecs=n_matvecs)
+    return (y[:, 0] if flat else y), info

@@ -1,0 +1,147 @@
+"""Single-vector Lanczos approximation of ``M^(1/2) z``.
+
+The method of Ando, Chow, Saad & Skolnick (paper reference [8]): run
+``m`` steps of the symmetric Lanczos process on the SPD operator ``M``
+with starting vector ``z``, yielding an orthonormal basis ``V_m`` and a
+tridiagonal ``T_m = V_m^T M V_m``; then
+
+    y_m = ||z|| V_m T_m^(1/2) e_1
+
+converges rapidly to ``M^(1/2) z`` (error governed by the square root's
+polynomial approximation on the spectrum).  The iteration stops when
+the relative update ``||y_m - y_{m-1}|| / ||y_m||`` falls below the
+tolerance ``e_k`` — the quantity the paper's Table II varies.
+
+Full reorthogonalization is applied by default: for the modest
+iteration counts the paper reports (19-25) its ``O(m^2 n)`` cost is
+negligible next to the PME applications and it removes the classical
+loss-of-orthogonality failure mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+import scipy.linalg
+
+from ..errors import ConvergenceError
+
+__all__ = ["lanczos_sqrt", "LanczosInfo"]
+
+
+@dataclass
+class LanczosInfo:
+    """Diagnostics of a (block) Lanczos solve.
+
+    Attributes
+    ----------
+    iterations:
+        Number of Lanczos steps performed.
+    converged:
+        Whether the relative-update criterion was met.
+    rel_change:
+        Last relative update of the iterate.
+    n_matvecs:
+        Number of operator applications, counted per column.
+    """
+
+    iterations: int
+    converged: bool
+    rel_change: float
+    n_matvecs: int
+
+
+def _tridiag_sqrt_e1(alpha: np.ndarray, beta: np.ndarray) -> np.ndarray:
+    """First column of ``T^(1/2)`` for the Lanczos tridiagonal ``T``.
+
+    Small negative Ritz values (round-off from an SPD operator) are
+    clipped to zero.
+    """
+    w, q = scipy.linalg.eigh_tridiagonal(alpha, beta)
+    w = np.sqrt(np.clip(w, 0.0, None))
+    return (q * w) @ q[0]
+
+
+def lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray], z: np.ndarray,
+                 tol: float = 1e-2, max_iter: int = 200,
+                 reorthogonalize: bool = True,
+                 check_interval: int = 1) -> tuple[np.ndarray, LanczosInfo]:
+    """Approximate ``M^(1/2) z`` using only products ``f -> M f``.
+
+    Parameters
+    ----------
+    matvec:
+        The SPD operator application (e.g. ``PMEOperator.apply``).
+    z:
+        Starting vector, shape ``(d,)``.
+    tol:
+        Relative-update stopping tolerance (the paper's ``e_k``).
+    max_iter:
+        Maximum Lanczos steps; exceeding it raises
+        :class:`~repro.errors.ConvergenceError`.
+    reorthogonalize:
+        Re-orthogonalize each new basis vector against the full basis.
+    check_interval:
+        Evaluate the iterate (an ``O(m^2)`` eigen-solve plus an
+        ``O(m d)`` basis combination) every this many steps.
+
+    Returns
+    -------
+    (y, info):
+        The approximation to ``M^(1/2) z`` and solve diagnostics.
+    """
+    z = np.asarray(z, dtype=np.float64)
+    if z.ndim != 1:
+        raise ValueError(f"z must be a vector, got shape {z.shape}")
+    norm_z = float(np.linalg.norm(z))
+    if norm_z == 0.0:
+        return np.zeros_like(z), LanczosInfo(0, True, 0.0, 0)
+
+    d = z.shape[0]
+    max_iter = min(max_iter, d)
+    basis = np.empty((max_iter + 1, d))
+    basis[0] = z / norm_z
+    alpha: list[float] = []
+    beta: list[float] = []
+    y_prev: np.ndarray | None = None
+    rel_change = np.inf
+    n_matvecs = 0
+
+    for m in range(1, max_iter + 1):
+        v = basis[m - 1]
+        # copy: a matvec may return its input (e.g. the identity), and w
+        # is updated in place below
+        w = np.array(matvec(v), dtype=np.float64, copy=True)
+        n_matvecs += 1
+        a = float(v @ w)
+        alpha.append(a)
+        w -= a * v
+        if m > 1:
+            w -= beta[-1] * basis[m - 2]
+        if reorthogonalize:
+            # one pass of classical Gram-Schmidt against the whole basis
+            w -= basis[:m].T @ (basis[:m] @ w)
+        b = float(np.linalg.norm(w))
+
+        if m % check_interval == 0 or b <= 1e-14 * norm_z or m == max_iter:
+            coeffs = _tridiag_sqrt_e1(np.array(alpha), np.array(beta))
+            y = norm_z * (coeffs @ basis[:m])
+            if y_prev is not None:
+                denom = float(np.linalg.norm(y))
+                rel_change = (float(np.linalg.norm(y - y_prev)) / denom
+                              if denom > 0 else 0.0)
+                if rel_change < tol:
+                    return y, LanczosInfo(m, True, rel_change, n_matvecs)
+            y_prev = y
+
+        if b <= 1e-14 * norm_z:
+            # invariant subspace found: the iterate is exact
+            return y_prev, LanczosInfo(m, True, 0.0, n_matvecs)
+        beta.append(b)
+        basis[m] = w / b
+
+    raise ConvergenceError(
+        f"Lanczos did not reach tol={tol} in {max_iter} iterations",
+        iterations=max_iter, residual=rel_change)

@@ -1,0 +1,25 @@
+"""Neighbor search: Verlet cell lists and cross-check backends.
+
+The paper evaluates short-range interactions (the real-space Ewald sum
+and the repulsive force) "efficiently in linear time using Verlet cell
+lists" (Sections IV.C and V.A, reference [27]).  This subpackage
+provides:
+
+* :class:`~repro.neighbor.celllist.CellList` -- the from-scratch,
+  vectorized linked-cell implementation (the default),
+* :func:`~repro.neighbor.kdtree.kdtree_pairs` -- a ``scipy.spatial``
+  KD-tree backend used to cross-check correctness and as a faster
+  option for very large systems,
+* :func:`~repro.neighbor.pairs.brute_force_pairs` -- the O(n^2)
+  reference used in tests,
+* :class:`~repro.neighbor.verlet.VerletList` -- a skin-buffered pair
+  list reusable across time steps.
+"""
+
+from .celllist import CellList
+from .kdtree import kdtree_pairs
+from .pairs import brute_force_pairs, find_pairs
+from .verlet import VerletList
+
+__all__ = ["CellList", "kdtree_pairs", "brute_force_pairs", "find_pairs",
+           "VerletList"]

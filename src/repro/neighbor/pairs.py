@@ -1,0 +1,73 @@
+"""Pair-list utilities and the brute-force reference implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..geometry.box import Box
+from ..utils.validation import as_positions, require
+
+__all__ = ["brute_force_pairs", "find_pairs", "canonicalize_pairs"]
+
+
+def brute_force_pairs(positions, box: Box, cutoff: float
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """All pairs ``(i, j)``, ``i < j``, with minimum-image distance < cutoff.
+
+    O(n^2) time and memory; the reference against which the cell list
+    and KD-tree backends are validated.  Correct for any cutoff (even
+    larger than ``L/2``, where it falls back to minimum-image truncation
+    like the other backends).
+    """
+    r = as_positions(positions)
+    n = r.shape[0]
+    if n < 2:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    iu, ju = np.triu_indices(n, k=1)
+    _, dist = box.distances(r, iu, ju)
+    sel = dist < cutoff
+    return iu[sel], ju[sel]
+
+
+def canonicalize_pairs(i: np.ndarray, j: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Sort pair lists into the canonical order (i < j, lexicographic).
+
+    Used by tests to compare pair lists produced by different backends.
+    """
+    i = np.asarray(i, dtype=np.intp)
+    j = np.asarray(j, dtype=np.intp)
+    lo = np.minimum(i, j)
+    hi = np.maximum(i, j)
+    order = np.lexsort((hi, lo))
+    return lo[order], hi[order]
+
+
+def find_pairs(positions, box: Box, cutoff: float, backend: str = "cells"
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Find interacting pairs with the requested backend.
+
+    Parameters
+    ----------
+    positions, box, cutoff:
+        As for :func:`brute_force_pairs`.
+    backend:
+        ``"cells"`` (vectorized linked cells, default), ``"kdtree"``
+        (``scipy.spatial.cKDTree``), or ``"brute"`` (O(n^2) reference).
+
+    Returns
+    -------
+    (i, j):
+        Index arrays with ``i < j`` for every pair within ``cutoff``.
+    """
+    require(cutoff > 0, f"cutoff must be positive, got {cutoff}")
+    if backend == "cells":
+        from .celllist import CellList
+        return CellList(box, cutoff).pairs(positions)
+    if backend == "kdtree":
+        from .kdtree import kdtree_pairs
+        return kdtree_pairs(positions, box, cutoff)
+    if backend == "brute":
+        return brute_force_pairs(positions, box, cutoff)
+    raise ValueError(f"unknown neighbor backend {backend!r}")

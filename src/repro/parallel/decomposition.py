@@ -1,0 +1,160 @@
+"""Slab domain decomposition of the real-space operator construction.
+
+The distributed-memory counterpart of the paper's shared-memory
+techniques: to build the short-range BCSR matrix on ``D`` workers, the
+box is cut into ``D`` slabs along ``x``; every worker owns the
+particles in its slab, imports a *halo* of foreign particles within
+``r_max`` of its slab faces (periodic in ``x``), finds its local pairs,
+and keeps exactly the pairs whose lower global index it owns — a
+disjoint cover of the global pair set, so concatenating the per-worker
+results reproduces the global build exactly (tested bit-for-bit).
+
+On this machine the workers run as a loop; the per-worker function
+:meth:`SlabDecomposition.local_pair_blocks` touches only the worker's
+owned + halo data, so the same code maps onto ``mpi4py`` ranks
+unchanged (gather the per-rank triples with ``comm.allgather`` and
+feed :func:`merge_pair_blocks`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry.box import Box
+from ..neighbor.pairs import find_pairs
+from ..rpy import beenakker
+from ..sparse.bcsr import BlockCSR
+from ..units import FluidParams, REDUCED
+from ..utils.validation import as_positions
+
+__all__ = ["SlabDecomposition", "merge_pair_blocks",
+           "distributed_real_space_matrix"]
+
+
+class SlabDecomposition:
+    """``D`` equal slabs along ``x`` with periodic halos.
+
+    Parameters
+    ----------
+    box:
+        Periodic box.
+    n_domains:
+        Number of slabs; the slab width ``L / D`` must be at least the
+        halo width or pairs could span non-adjacent slabs.
+    halo_width:
+        Import distance (use the interaction cutoff ``r_max``).
+    """
+
+    def __init__(self, box: Box, n_domains: int, halo_width: float):
+        if n_domains < 1:
+            raise ConfigurationError(
+                f"n_domains must be >= 1, got {n_domains}")
+        if halo_width <= 0:
+            raise ConfigurationError(
+                f"halo_width must be positive, got {halo_width}")
+        slab = box.length / n_domains
+        if n_domains > 1 and slab < halo_width:
+            raise ConfigurationError(
+                f"slab width {slab:.3g} is below the halo width "
+                f"{halo_width:.3g}; use fewer domains")
+        self.box = box
+        self.n_domains = int(n_domains)
+        self.halo_width = float(halo_width)
+        self.slab_width = slab
+
+    def owner(self, positions) -> np.ndarray:
+        """Owning domain of each particle (by wrapped x coordinate)."""
+        r = self.box.wrap(as_positions(positions))
+        d = np.floor(r[:, 0] / self.slab_width).astype(np.intp)
+        return np.minimum(d, self.n_domains - 1)
+
+    def owned_indices(self, positions, domain: int) -> np.ndarray:
+        """Global indices of the particles domain ``domain`` owns."""
+        return np.flatnonzero(self.owner(positions) == domain)
+
+    def halo_indices(self, positions, domain: int) -> np.ndarray:
+        """Foreign particles within ``halo_width`` of the slab (periodic)."""
+        if self.n_domains == 1:
+            return np.empty(0, dtype=np.intp)
+        r = self.box.wrap(as_positions(positions))
+        owner = self.owner(positions)
+        lo = domain * self.slab_width
+        hi = lo + self.slab_width
+        x = r[:, 0]
+        # periodic distance of x to the slab interval [lo, hi)
+        below = np.minimum(np.abs(x - lo), np.abs(x - lo + self.box.length))
+        below = np.minimum(below, np.abs(x - lo - self.box.length))
+        above = np.minimum(np.abs(x - hi), np.abs(x - hi + self.box.length))
+        above = np.minimum(above, np.abs(x - hi - self.box.length))
+        near = np.minimum(below, above) < self.halo_width
+        return np.flatnonzero(near & (owner != domain))
+
+    def local_pair_blocks(self, positions, domain: int, xi: float,
+                          fluid: FluidParams = REDUCED,
+                          kernel: str = "rpy"
+                          ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """This domain's share of the real-space pair blocks.
+
+        Runs the neighbor search on owned + halo particles only and
+        keeps each pair exactly once across all domains (the domain
+        owning the pair's lower global index keeps it).
+
+        Returns ``(i, j, blocks)`` in *global* indices.
+        """
+        r = self.box.wrap(as_positions(positions))
+        own = self.owned_indices(r, domain)
+        halo = self.halo_indices(r, domain)
+        local_global = np.concatenate([own, halo])
+        if local_global.size < 2:
+            return (np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp),
+                    np.empty((0, 3, 3)))
+        sub = r[local_global]
+        li, lj = find_pairs(sub, self.box, self.halo_width)
+        gi = local_global[li]
+        gj = local_global[lj]
+        lo = np.minimum(gi, gj)
+        hi = np.maximum(gi, gj)
+        keep = self.owner(r)[lo] == domain
+        lo, hi = lo[keep], hi[keep]
+        if lo.size == 0:
+            return (lo, hi, np.empty((0, 3, 3)))
+        rij, dist = self.box.distances(r, lo, hi)
+        blocks = beenakker.real_space_tensors(rij, xi, fluid.radius,
+                                              kernel=kernel)
+        return lo, hi, blocks
+
+
+def merge_pair_blocks(parts, n: int, xi: float,
+                      fluid: FluidParams = REDUCED,
+                      kernel: str = "rpy") -> BlockCSR:
+    """Assemble per-domain ``(i, j, blocks)`` triples into the BCSR matrix.
+
+    The diagonal (self-term) blocks are added here, once.
+    """
+    i = np.concatenate([p[0] for p in parts]) if parts else np.empty(0, int)
+    j = np.concatenate([p[1] for p in parts]) if parts else np.empty(0, int)
+    blocks = (np.concatenate([p[2] for p in parts])
+              if parts else np.empty((0, 3, 3)))
+    diag_scalar = beenakker.self_mobility_scalar(xi, fluid.radius,
+                                                 kernel=kernel)
+    diag = np.broadcast_to(diag_scalar * np.eye(3), (n, 3, 3)).copy()
+    return BlockCSR.from_pairs(n, i, j, blocks, diag_blocks=diag)
+
+
+def distributed_real_space_matrix(positions, box: Box, xi: float,
+                                  r_max: float, n_domains: int,
+                                  fluid: FluidParams = REDUCED,
+                                  kernel: str = "rpy") -> BlockCSR:
+    """Build the real-space BCSR matrix via slab decomposition.
+
+    Equivalent (bit-for-bit, up to block ordering) to the single-domain
+    construction of :class:`repro.pme.realspace.RealSpaceOperator`;
+    each domain's work only reads its owned + halo particles.
+    """
+    decomp = SlabDecomposition(box, n_domains, r_max)
+    parts = [decomp.local_pair_blocks(positions, d, xi, fluid=fluid,
+                                      kernel=kernel)
+             for d in range(n_domains)]
+    n = as_positions(positions).shape[0]
+    return merge_pair_blocks(parts, n, xi, fluid=fluid, kernel=kernel)

@@ -1,0 +1,85 @@
+"""Thread-pool execution of the independent-set spreading schedule.
+
+The point of the 8-color schedule (Section IV.B.2) is that within one
+color, blocks write disjoint mesh regions, so real threads can scatter
+*without atomics*.  :class:`ThreadedSpreader` demonstrates exactly
+that: each color stage fans its blocks out over a
+``concurrent.futures.ThreadPoolExecutor`` and every worker writes its
+block's mesh points with plain stores.  The result is bit-identical to
+the sparse-matrix spreading (tested), which is the correctness property
+a multicore C implementation relies on.
+
+(On CPython, NumPy's scatter kernels hold the GIL for much of the
+work, so this is a *correctness* demonstration of the schedule rather
+than a speedup on this interpreter — the speedup claim lives in the
+performance model.)
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..geometry.box import Box
+from .coloring import ColoredSpreader
+
+__all__ = ["ThreadedSpreader"]
+
+
+class ThreadedSpreader(ColoredSpreader):
+    """Colored spreading with per-block thread-pool execution.
+
+    Parameters
+    ----------
+    positions, box, K, p:
+        As for :class:`~repro.parallel.coloring.ColoredSpreader`.
+    n_workers:
+        Threads per color stage.
+    """
+
+    def __init__(self, positions, box: Box, K: int, p: int,
+                 n_workers: int = 4):
+        super().__init__(positions, box, K, p)
+        self.n_workers = max(1, int(n_workers))
+        # pre-split every color group by block id so stages only submit
+        self._block_groups: list[list[np.ndarray]] = []
+        for group in self._groups:
+            if group.size == 0:
+                self._block_groups.append([])
+                continue
+            ends = self._cols[group][:, 0]
+            k = self.K
+            bx = self.coloring.block_of(ends // (k * k))
+            by = self.coloring.block_of((ends // k) % k)
+            bz = self.coloring.block_of(ends % k)
+            bid = (bx * self.coloring.blocks_per_dim + by) * \
+                self.coloring.blocks_per_dim + bz
+            self._block_groups.append(
+                [group[bid == b] for b in np.unique(bid)])
+
+    def spread(self, values: np.ndarray) -> np.ndarray:
+        """Spread with one thread pool per color stage.
+
+        Within a stage every submitted block writes a disjoint set of
+        mesh points (the coloring invariant), so the concurrent plain
+        scatter below is race-free by construction.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        flat = values.ndim == 1
+        vals = values[:, None] if flat else values
+        out = np.zeros((self.K ** 3, vals.shape[1]))
+
+        def work(particle_idx: np.ndarray) -> None:
+            contrib = (self._data[particle_idx][:, :, None]
+                       * vals[particle_idx][:, None, :])
+            np.add.at(out, self._cols[particle_idx].ravel(),
+                      contrib.reshape(-1, vals.shape[1]))
+
+        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+            for blocks in self._block_groups:   # color stages: sequential
+                if not blocks:
+                    continue
+                # blocks within a stage: concurrent
+                list(pool.map(work, blocks))
+        return out[:, 0] if flat else out

@@ -1,0 +1,80 @@
+"""Self-calibration of the host machine description.
+
+The Fig. 5 experiment overlays the Section IV.D model on real
+measurements.  Rather than hand-tuning the host's FFT rates and
+effective bandwidth, :func:`calibrate_host` measures them directly:
+
+* 3-D r2c/c2r FFT rates at a few mesh sizes (GF/s using the model's
+  own ``2.5 K^3 log2 K^3`` flop convention, so model and measurement
+  cancel consistently),
+* sustainable bandwidth from a large out-of-place array copy
+  (read + write), which matches how the model charges traffic.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .machines import Machine
+
+__all__ = ["calibrate_host"]
+
+
+def _time_best(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _fft_rate(K: int, inverse: bool) -> float:
+    """Measured 3-D (i)FFT rate in GF/s at mesh dimension ``K``."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((K, K, K))
+    spec = np.fft.rfftn(x)
+    flops = 2.5 * K ** 3 * np.log2(K ** 3)
+    if inverse:
+        t = _time_best(lambda: np.fft.irfftn(spec, s=(K, K, K),
+                                             axes=(0, 1, 2)))
+    else:
+        t = _time_best(lambda: np.fft.rfftn(x))
+    return flops / t / 1e9
+
+
+def _bandwidth_gbs(nbytes: int = 2 ** 26) -> float:
+    """Measured copy bandwidth (read + write) in GB/s."""
+    src = np.ones(nbytes // 8)
+    dst = np.empty_like(src)
+    t = _time_best(lambda: np.copyto(dst, src))
+    return 2 * src.nbytes / t / 1e9
+
+
+def calibrate_host(mesh_dims: tuple[int, ...] = (32, 64, 128),
+                   name: str = "host (calibrated)") -> Machine:
+    """Measure this machine and return a :class:`Machine` description.
+
+    Takes a few seconds; the result is suitable for the Fig. 5
+    model-overlay and for ranking PME parameter choices on the host.
+    """
+    fft = tuple((K, round(_fft_rate(K, inverse=False), 2))
+                for K in mesh_dims)
+    ifft = tuple((K, round(_fft_rate(K, inverse=True), 2))
+                 for K in mesh_dims)
+    bw = _bandwidth_gbs()
+    import os
+    cores = os.cpu_count() or 1
+    return Machine(
+        name=name, cores=cores, threads=cores, frequency_ghz=0.0,
+        peak_gflops_dp=max(v for _, v in fft) * 4,
+        # the model's byte counts assume fused single-pass kernels; the
+        # NumPy implementation makes ~2 passes per logical pass, so the
+        # effective bandwidth is half the copy bandwidth
+        stream_bandwidth_gbs=bw / 2,
+        memory_gb=8.0,
+        fft_rate_table=fft,
+        ifft_rate_table=ifft,
+    )

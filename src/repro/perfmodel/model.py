@@ -1,0 +1,139 @@
+"""The PME phase cost model (paper Section IV.D, Eqs. 10 and 11).
+
+Memory-traffic expressions (bytes) and flop counts follow the paper
+exactly:
+
+* spreading moves ``3*8*K^3`` (zero-initialize the mesh) +
+  ``12 p^3 n`` (the nonzeros and column indices of ``P``) +
+  ``3*8*p^3 n`` (scatter of ``P^T f``);
+* each PME application performs three forward and three inverse 3-D
+  FFTs at ``2.5 K^3 log2(K^3)`` flops apiece (radix-2 count);
+* the influence function touches the ``8 K^3/2``-byte scalar plus the
+  ``2 * 3 * 16 * K^3/2`` bytes of the complex spectra ``C`` and ``D``
+  (together the ``76 K^3 / B`` term of Eq. 10);
+* interpolation moves ``12 p^3 n + 24 p^3 n`` bytes;
+* the persistent reciprocal-space memory is
+  ``M_PME = 24 K^3 + 12 p^3 n + 4 K^3`` bytes (Eq. 11).
+
+The real-space SpMV is modeled as bandwidth bound over the BCSR bytes,
+which Section IV.E uses to balance the hybrid split.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .machines import Machine
+
+__all__ = [
+    "spreading_bytes",
+    "interpolation_bytes",
+    "influence_bytes",
+    "fft_flops",
+    "pme_memory_bytes",
+    "real_space_bytes",
+    "PMECostModel",
+]
+
+
+def spreading_bytes(n: int, K: int, p: int) -> float:
+    """Memory traffic of the spreading step (paper Eq. in IV.D(a))."""
+    return 3 * 8 * K ** 3 + 12 * p ** 3 * n + 3 * 8 * p ** 3 * n
+
+
+def interpolation_bytes(n: int, K: int, p: int) -> float:
+    """Memory traffic of the interpolation step (paper Eq. in IV.D(d))."""
+    return 12 * p ** 3 * n + 3 * 8 * p ** 3 * n
+
+
+def influence_bytes(K: int) -> float:
+    """Memory traffic of applying the influence function (IV.D(c)).
+
+    One word per mode for the scalar (``8 K^3 / 2``) plus reading the
+    three complex half-spectra ``C`` and writing ``D``
+    (``2 * 3 * 16 * K^3 / 2``).
+    """
+    return 8 * K ** 3 / 2 + 2 * 3 * 16 * K ** 3 / 2
+
+
+def fft_flops(K: int) -> float:
+    """Flops of the three 3-D (i)FFTs of one PME application (IV.D(b))."""
+    return 3 * 2.5 * K ** 3 * math.log2(K ** 3)
+
+
+def pme_memory_bytes(n: int, K: int, p: int) -> float:
+    """Persistent reciprocal-space memory, paper Eq. 11."""
+    return 3 * 8 * K ** 3 + 12 * p ** 3 * n + 8 * K ** 3 / 2
+
+
+def real_space_bytes(n: int, pair_density: float, n_vectors: int = 1) -> float:
+    """Approximate memory traffic of the real-space BCSR SpMV.
+
+    ``pair_density`` is the average number of neighbors per particle
+    within ``r_max``.  Each stored block moves 72 bytes of payload plus
+    8 bytes of index; source/destination vectors are amortized over the
+    row (and over ``n_vectors`` right-hand sides, the multiple-RHS
+    advantage of reference [24]).
+    """
+    nnzb = n * (pair_density + 1.0)
+    payload = nnzb * (72.0 + 8.0)
+    vectors = 2 * 3 * 8 * n * n_vectors
+    return payload + vectors
+
+
+@dataclass(frozen=True)
+class PMECostModel:
+    """Eq. 10 evaluated on a :class:`~repro.perfmodel.machines.Machine`.
+
+    Parameters
+    ----------
+    machine:
+        Hardware description supplying ``B``, ``P_FFT`` and ``P_IFFT``.
+    """
+
+    machine: Machine
+
+    def t_spreading(self, n: int, K: int, p: int) -> float:
+        """Predicted spreading time (seconds)."""
+        return spreading_bytes(n, K, p) / self.machine.bandwidth_bytes
+
+    def t_fft(self, K: int) -> float:
+        """Predicted time of the three forward FFTs."""
+        return fft_flops(K) / (self.machine.fft_rate(K) * 1e9)
+
+    def t_ifft(self, K: int) -> float:
+        """Predicted time of the three inverse FFTs."""
+        return fft_flops(K) / (self.machine.ifft_rate(K) * 1e9)
+
+    def t_influence(self, K: int) -> float:
+        """Predicted influence-function time."""
+        return influence_bytes(K) / self.machine.bandwidth_bytes
+
+    def t_interpolation(self, n: int, K: int, p: int) -> float:
+        """Predicted interpolation time."""
+        return interpolation_bytes(n, K, p) / self.machine.bandwidth_bytes
+
+    def t_reciprocal(self, n: int, K: int, p: int) -> float:
+        """Total reciprocal-space time per application — paper Eq. 10."""
+        return (self.t_spreading(n, K, p) + self.t_fft(K) + self.t_ifft(K)
+                + self.t_influence(K) + self.t_interpolation(n, K, p))
+
+    def t_real(self, n: int, pair_density: float, n_vectors: int = 1) -> float:
+        """Real-space SpMV time per application (per block of vectors)."""
+        return (real_space_bytes(n, pair_density, n_vectors)
+                / self.machine.bandwidth_bytes)
+
+    def breakdown(self, n: int, K: int, p: int) -> dict[str, float]:
+        """Per-phase predicted times, keyed like Fig. 5."""
+        return {
+            "spread": self.t_spreading(n, K, p),
+            "fft": self.t_fft(K),
+            "influence": self.t_influence(K),
+            "ifft": self.t_ifft(K),
+            "interpolate": self.t_interpolation(n, K, p),
+        }
+
+    def fits_in_memory(self, n: int, K: int, p: int) -> bool:
+        """Whether Eq. 11's footprint fits the device memory."""
+        return pme_memory_bytes(n, K, p) <= self.machine.memory_bytes

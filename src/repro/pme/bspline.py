@@ -1,0 +1,119 @@
+"""Cardinal B-splines and Euler exponential-spline coefficients.
+
+Smooth PME (Essmann et al., paper reference [7]) interpolates the
+complex exponentials ``exp(2 pi i k u / K)`` with cardinal B-splines
+``M_p`` of order ``p`` (piecewise polynomials of degree ``p - 1``,
+support ``(0, p)``)::
+
+    exp(2 pi i k u / K)  ~  b(k) * sum_m M_p(u - m) exp(2 pi i k m / K)
+
+with the Euler spline coefficient::
+
+    b(k) = exp(2 pi i (p-1) k / K) / sum_{j=0}^{p-2} M_p(j+1) exp(2 pi i k j / K)
+
+The PME influence function is multiplied by ``|b1 b2 b3|^2`` — one
+factor of ``b`` from spreading (the adjoint of interpolation) and one
+from interpolation.
+
+For *odd* ``p`` the denominator vanishes at ``k = K/2``; following
+standard practice that mode is dropped (coefficient set to zero).  The
+paper (Table III) uses even orders ``p = 4, 6``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["bspline_value", "bspline_weights", "euler_spline_coefficients",
+           "euler_spline_modulus"]
+
+
+def bspline_value(x, p: int) -> np.ndarray:
+    """Evaluate the cardinal B-spline ``M_p`` pointwise (reference code).
+
+    ``M_2(x) = 1 - |x - 1|`` on ``[0, 2]`` and
+    ``M_p(x) = (x M_{p-1}(x) + (p - x) M_{p-1}(x - 1)) / (p - 1)``.
+    Zero outside ``(0, p)``.  Vectorized but recursive — use
+    :func:`bspline_weights` in hot paths.
+    """
+    if p < 2:
+        raise ConfigurationError(f"B-spline order must be >= 2, got {p}")
+    x = np.asarray(x, dtype=np.float64)
+    if p == 2:
+        return np.where((x > 0) & (x < 2), 1.0 - np.abs(x - 1.0), 0.0)
+    return (x * bspline_value(x, p - 1)
+            + (p - x) * bspline_value(x - 1.0, p - 1)) / (p - 1)
+
+
+def bspline_weights(frac: np.ndarray, p: int) -> np.ndarray:
+    """All ``p`` spline weights for fractional mesh offsets, vectorized.
+
+    For a particle with scaled coordinate ``u`` let ``w = u - floor(u)``
+    be the fractional part.  The weight of mesh point ``floor(u) - j``
+    is ``M_p(w + j)``; this returns those values for ``j = 0 .. p-1``.
+
+    Parameters
+    ----------
+    frac:
+        Fractional parts ``w`` in ``[0, 1)``, shape ``(n,)``.
+    p:
+        Spline order ``>= 2``.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n, p)``; ``out[:, j] = M_p(w + j)``.  Rows sum to 1
+        exactly (partition of unity), a property the tests check.
+    """
+    if p < 2:
+        raise ConfigurationError(f"B-spline order must be >= 2, got {p}")
+    w = np.asarray(frac, dtype=np.float64)
+    if w.ndim != 1:
+        raise ConfigurationError(f"frac must be 1-D, got shape {w.shape}")
+    n = w.shape[0]
+    out = np.zeros((n, p))
+    # order 2: M_2(w) = w, M_2(w + 1) = 1 - w
+    out[:, 0] = w
+    out[:, 1] = 1.0 - w
+    for q in range(3, p + 1):
+        # upgrade in place from order q-1 to order q, highest j first so
+        # out[:, j-1] still holds the order-(q-1) value
+        inv = 1.0 / (q - 1)
+        for j in range(q - 1, -1, -1):
+            x = w + j
+            prev_here = out[:, j]
+            prev_left = out[:, j - 1] if j > 0 else 0.0
+            out[:, j] = inv * (x * prev_here + (q - x) * prev_left)
+    return out
+
+
+def euler_spline_coefficients(K: int, p: int) -> np.ndarray:
+    """Euler exponential-spline coefficients ``b(k)`` for all ``K`` modes.
+
+    Returns a complex array of length ``K`` indexed by the FFT mode
+    number ``k = 0 .. K-1``.  For odd ``p`` the ill-defined ``k = K/2``
+    mode is set to zero.
+    """
+    if K < p:
+        raise ConfigurationError(
+            f"mesh dimension K={K} must be at least the spline order p={p}")
+    k = np.arange(K)
+    j = np.arange(p - 1)
+    mp_at_integers = bspline_value(j + 1.0, p)            # M_p(1..p-1)
+    denom = (mp_at_integers[None, :]
+             * np.exp(2j * np.pi * np.outer(k, j) / K)).sum(axis=1)
+    numer = np.exp(2j * np.pi * (p - 1) * k / K)
+    b = np.zeros(K, dtype=np.complex128)
+    ok = np.abs(denom) > 1e-10
+    b[ok] = numer[ok] / denom[ok]
+    return b
+
+
+def euler_spline_modulus(K: int, p: int) -> np.ndarray:
+    """``|b(k)|^2`` for all ``K`` modes (the factor entering the influence
+    function once per dimension, squared because it appears in both
+    spreading and interpolation)."""
+    b = euler_spline_coefficients(K, p)
+    return (b * b.conj()).real

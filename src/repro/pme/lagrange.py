@@ -1,0 +1,62 @@
+"""Lagrangian interpolation for the original (non-smooth) PME.
+
+The paper: "We found the SPME approach to be more accurate than the
+original PME approach [6] with Lagrangian interpolation, while
+negligibly increasing computational cost."  This module supplies that
+original scheme so the claim can be reproduced
+(``benchmarks/bench_ablation_interpolation.py``): order-``p`` Lagrange
+interpolation on the ``p`` mesh points centered around the particle,
+used for both spreading and interpolation, with **no** ``b(k)``
+deconvolution in the influence function (the interpolant is exact at
+the nodes; its in-between error is what limits accuracy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["lagrange_weights", "lagrange_window_offsets"]
+
+
+def lagrange_window_offsets(p: int) -> np.ndarray:
+    """Node offsets (relative to ``floor(u)``) of the order-``p`` window.
+
+    The window is centered on the containing interval: for example
+    ``p = 4`` uses offsets ``(-1, 0, 1, 2)`` so the interpolation point
+    ``u - floor(u)`` in ``[0, 1)`` sits in the central subinterval.
+    """
+    if p < 2:
+        raise ConfigurationError(f"Lagrange order must be >= 2, got {p}")
+    return np.arange(p) - (p // 2 - 1)
+
+
+def lagrange_weights(frac: np.ndarray, p: int) -> np.ndarray:
+    """Order-``p`` Lagrange basis weights at fractional offsets.
+
+    Parameters
+    ----------
+    frac:
+        Fractional parts ``u - floor(u)`` in ``[0, 1)``, shape ``(n,)``.
+    p:
+        Number of interpolation nodes.
+
+    Returns
+    -------
+    numpy.ndarray
+        Shape ``(n, p)``; column ``j`` is the weight of the mesh point
+        at offset :func:`lagrange_window_offsets`\\ ``(p)[j]``.  Rows sum
+        to 1 exactly (constants are reproduced).
+    """
+    frac = np.asarray(frac, dtype=np.float64)
+    if frac.ndim != 1:
+        raise ConfigurationError(f"frac must be 1-D, got shape {frac.shape}")
+    nodes = lagrange_window_offsets(p).astype(np.float64)
+    out = np.ones((frac.shape[0], p))
+    for j in range(p):
+        for s in range(p):
+            if s == j:
+                continue
+            out[:, j] *= (frac - nodes[s]) / (nodes[j] - nodes[s])
+    return out

@@ -1,0 +1,103 @@
+"""The PME mesh: a ``K x K x K`` grid over the periodic box.
+
+Centralizes the wavevector bookkeeping for the half-spectrum
+(real-to-complex) FFT layout the implementation uses throughout: arrays
+over reciprocal space have shape ``(K, K, K//2 + 1)`` and the missing
+modes are implied by conjugate symmetry (paper Section IV.B.3 — using
+r2c transforms "halves the memory and bandwidth requirements").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry.box import Box
+
+__all__ = ["Mesh"]
+
+
+@dataclass(frozen=True)
+class Mesh:
+    """Regular cubic mesh of dimension ``K`` over a periodic box.
+
+    Parameters
+    ----------
+    box:
+        The periodic simulation box of edge ``L``.
+    K:
+        Mesh points per dimension (``K >= 2``).  Powers of two and
+        other FFT-friendly sizes are fastest but any ``K`` works.
+    """
+
+    box: Box
+    K: int
+
+    def __post_init__(self) -> None:
+        if self.K < 2:
+            raise ConfigurationError(f"mesh dimension K must be >= 2, got {self.K}")
+
+    @property
+    def spacing(self) -> float:
+        """Mesh spacing ``h = L / K``."""
+        return self.box.length / self.K
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Real-space array shape ``(K, K, K)``."""
+        return (self.K, self.K, self.K)
+
+    @property
+    def rshape(self) -> tuple[int, int, int]:
+        """Half-spectrum array shape ``(K, K, K//2 + 1)`` (rfftn layout)."""
+        return (self.K, self.K, self.K // 2 + 1)
+
+    @property
+    def n_points(self) -> int:
+        """Total number of mesh points ``K^3``."""
+        return self.K ** 3
+
+    @property
+    def nyquist(self) -> float:
+        """Largest resolved wavenumber ``pi K / L``."""
+        return math.pi * self.K / self.box.length
+
+    def wavenumbers(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Signed physical wavenumbers along each axis of the rfftn layout.
+
+        Returns 1-D arrays ``(kx, ky, kz)`` of lengths
+        ``(K, K, K//2 + 1)``: ``kx[m] = 2 pi s(m) / L`` with ``s(m)`` the
+        signed FFT frequency, and ``kz`` covering only the non-negative
+        half spectrum.
+        """
+        two_pi_over_l = 2.0 * math.pi / self.box.length
+        full = np.fft.fftfreq(self.K, d=1.0 / self.K) * two_pi_over_l
+        half = np.fft.rfftfreq(self.K, d=1.0 / self.K) * two_pi_over_l
+        return full, full, half
+
+    def k_grids(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Broadcastable 3-D wavevector component grids (rfftn layout)."""
+        kx, ky, kz = self.wavenumbers()
+        return (kx[:, None, None], ky[None, :, None], kz[None, None, :])
+
+    def k2_grid(self) -> np.ndarray:
+        """``|k|^2`` on the half-spectrum grid, shape :attr:`rshape`."""
+        gx, gy, gz = self.k_grids()
+        return gx * gx + gy * gy + gz * gz
+
+    def hermitian_weight(self) -> np.ndarray:
+        """Multiplicity of each stored mode in the full spectrum.
+
+        In the rfftn layout the planes ``kz = 0`` and (for even ``K``)
+        ``kz = K/2`` represent themselves only (weight 1); every other
+        stored mode also stands for its conjugate (weight 2).  Needed
+        when summing spectral quantities, e.g. in error estimates.
+        """
+        w = np.full(self.rshape, 2.0)
+        w[:, :, 0] = 1.0
+        if self.K % 2 == 0:
+            w[:, :, -1] = 1.0
+        return w

@@ -1,0 +1,254 @@
+"""The composed matrix-free PME mobility operator (paper Algorithm 2, line 4).
+
+``PMEOperator`` is the software object the paper calls "the PME
+operator": built once per mobility update from a particle
+configuration, then applied to many force vectors::
+
+    u = PME(f) = mu0 * ( M_real f  +  M_recip f  +  M_self f )
+
+* the real-space term is a BCSR SpMV (:mod:`repro.pme.realspace`),
+* the reciprocal-space term is the six-step mesh pipeline of
+  Section IV.A: spread (``P^T f``), forward r2c FFT, influence
+  function, inverse FFT, interpolate (``P U``),
+* the self term is carried on the diagonal blocks of the real-space
+  matrix.
+
+Each phase is timed into :class:`~repro.utils.timing.PhaseTimer` under
+the names used by Fig. 5 (``spread``, ``fft``, ``influence``, ``ifft``,
+``interpolate``, ``real``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse.linalg import LinearOperator
+
+from ..errors import ConfigurationError
+from ..geometry.box import Box
+from ..units import FluidParams, REDUCED
+from ..utils.timing import PhaseTimer
+from ..utils.validation import as_force_block, as_positions
+from .influence import InfluenceFunction
+from .mesh import Mesh
+from .realspace import RealSpaceOperator
+from .spread import InterpolationMatrix, interpolate_on_the_fly, spread_on_the_fly
+
+__all__ = ["PMEParams", "PMEOperator"]
+
+
+@dataclass(frozen=True)
+class PMEParams:
+    """The PME parameter set of the paper's Table III.
+
+    Parameters
+    ----------
+    xi:
+        Ewald splitting parameter (the paper's ``alpha``).
+    r_max:
+        Real-space cutoff distance.
+    K:
+        FFT mesh dimension (mesh is ``K^3``).
+    p:
+        Cardinal B-spline order (paper uses 4 or 6).
+    """
+
+    xi: float
+    r_max: float
+    K: int
+    p: int = 6
+    #: Interpolation scheme: ``"bspline"`` (smooth PME, default) or
+    #: ``"lagrange"`` (the original PME of paper reference [6]).
+    interpolation: str = "bspline"
+    #: Hydrodynamic kernel: ``"rpy"`` (the paper) or ``"oseen"`` (the
+    #: Stokeslet kernel of the related-work Stokesian PME codes).
+    kernel: str = "rpy"
+
+    def __post_init__(self) -> None:
+        if self.xi <= 0:
+            raise ConfigurationError(f"xi must be positive, got {self.xi}")
+        if self.r_max <= 0:
+            raise ConfigurationError(f"r_max must be positive, got {self.r_max}")
+        if self.K < 2:
+            raise ConfigurationError(f"K must be >= 2, got {self.K}")
+        if self.p < 2:
+            raise ConfigurationError(f"p must be >= 2, got {self.p}")
+        if self.K < self.p:
+            raise ConfigurationError(
+                f"K={self.K} must be at least the spline order p={self.p}")
+        if self.interpolation not in ("bspline", "lagrange"):
+            raise ConfigurationError(
+                f"unknown interpolation {self.interpolation!r}")
+        if self.kernel not in ("rpy", "oseen"):
+            raise ConfigurationError(f"unknown kernel {self.kernel!r}")
+
+
+class PMEOperator:
+    """Matrix-free periodic RPY mobility operator for one configuration.
+
+    Parameters
+    ----------
+    positions:
+        Particle positions, shape ``(n, 3)``.
+    box:
+        Periodic simulation box.
+    params:
+        PME parameters ``(xi, r_max, K, p)``.
+    fluid:
+        Fluid parameters; the returned velocities include the physical
+        ``mu0`` prefactor.
+    neighbor_backend:
+        Pair-search backend for the real-space matrix.
+    store_p:
+        Precompute and reuse the interpolation matrix ``P`` (paper
+        Section IV.A; the Fig. 4 optimization).  When false, spreading
+        and interpolation recompute spline weights on the fly.
+    real_engine:
+        ``"scipy"`` or ``"bcsr"`` SpMV engine for the real-space term.
+
+    Notes
+    -----
+    The operator is *frozen* to the positions it was built with —
+    exactly like line 4 of Algorithm 2, which constructs the PME
+    operator once per ``lambda_RPY`` steps.
+    """
+
+    def __init__(self, positions, box: Box, params: PMEParams,
+                 fluid: FluidParams = REDUCED, neighbor_backend: str = "cells",
+                 store_p: bool = True, real_engine: str = "scipy"):
+        self.positions = as_positions(positions).copy()
+        self.n = self.positions.shape[0]
+        self.box = box
+        self.params = params
+        self.fluid = fluid
+        self.mesh = Mesh(box, params.K)
+        self.store_p = bool(store_p)
+        self.timers = PhaseTimer()
+        #: Total number of operator applications (column counts included).
+        self.n_applications = 0
+
+        with self.timers.phase("construct_p"):
+            self.interp = (InterpolationMatrix(self.positions, box,
+                                               params.K, params.p,
+                                               kind=params.interpolation)
+                           if store_p else None)
+        self.influence = InfluenceFunction(self.mesh, params.xi, params.p,
+                                           fluid.radius,
+                                           interpolation=params.interpolation,
+                                           kernel=params.kernel)
+        with self.timers.phase("construct_real"):
+            self.real = RealSpaceOperator(
+                self.positions, box, params.xi, params.r_max, fluid=fluid,
+                neighbor_backend=neighbor_backend, engine=real_engine,
+                kernel=params.kernel)
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Operator shape ``(3n, 3n)``."""
+        return (3 * self.n, 3 * self.n)
+
+    def apply(self, forces) -> np.ndarray:
+        """``u = M f`` for ``f`` of shape ``(3n,)`` or ``(3n, s)``.
+
+        The result includes the physical prefactor ``mu0`` and all three
+        Ewald contributions.
+        """
+        f, flat = as_force_block(forces, self.n)
+        out = self.apply_real(f) + self.apply_reciprocal(f)
+        out *= self.fluid.mobility0
+        self.n_applications += f.shape[1]
+        return out[:, 0] if flat else out
+
+    def __call__(self, forces) -> np.ndarray:
+        return self.apply(forces)
+
+    def apply_real(self, forces) -> np.ndarray:
+        """Real-space + self contribution in ``mu0`` units."""
+        f, flat = as_force_block(forces, self.n)
+        with self.timers.phase("real"):
+            out = self.real.apply(f)
+        return out[:, 0] if flat else out
+
+    def apply_reciprocal(self, forces) -> np.ndarray:
+        """Reciprocal-space contribution in ``mu0`` units.
+
+        Runs the six-step mesh pipeline once per (vector, component):
+        with ``s`` input vectors this is ``3s`` forward and ``3s``
+        inverse 3-D real-to-complex FFTs (there is no FFT on blocks of
+        vectors — the observation behind the paper's hybrid static
+        partitioning, Section IV.E).
+        """
+        f, flat = as_force_block(forces, self.n)
+        n, s = self.n, f.shape[1]
+        K = self.params.K
+
+        # spread all components and vectors in one sparse product
+        fm = np.ascontiguousarray(f).reshape(n, 3 * s)
+        with self.timers.phase("spread"):
+            if self.interp is not None:
+                mesh_f = self.interp.spread(fm)
+            else:
+                mesh_f = spread_on_the_fly(self.positions, self.box, K,
+                                           self.params.p, fm,
+                                           kind=self.params.interpolation)
+        mesh_f = mesh_f.reshape(K, K, K, 3, s)
+
+        mesh_u = np.empty_like(mesh_f)
+        spec = np.empty((3,) + self.mesh.rshape, dtype=np.complex128)
+        for v in range(s):
+            with self.timers.phase("fft"):
+                for theta in range(3):
+                    spec[theta] = np.fft.rfftn(mesh_f[:, :, :, theta, v])
+            with self.timers.phase("influence"):
+                self.influence.apply(spec, out=spec)
+            with self.timers.phase("ifft"):
+                for theta in range(3):
+                    mesh_u[:, :, :, theta, v] = np.fft.irfftn(
+                        spec[theta], s=self.mesh.shape, axes=(0, 1, 2))
+
+        with self.timers.phase("interpolate"):
+            if self.interp is not None:
+                um = self.interp.interpolate(mesh_u.reshape(K ** 3, 3 * s))
+            else:
+                um = interpolate_on_the_fly(self.positions, self.box, K,
+                                            self.params.p,
+                                            mesh_u.reshape(K ** 3, 3 * s),
+                                            kind=self.params.interpolation)
+        out = np.ascontiguousarray(um).reshape(3 * n, s)
+        return out[:, 0] if flat else out
+
+    # ------------------------------------------------------------------
+    # adapters and accounting
+    # ------------------------------------------------------------------
+
+    def as_linear_operator(self) -> LinearOperator:
+        """A :class:`scipy.sparse.linalg.LinearOperator` view of ``M``."""
+        return LinearOperator(
+            shape=self.shape, matvec=self.apply, matmat=self.apply,
+            rmatvec=self.apply, dtype=np.float64)
+
+    def to_dense(self) -> np.ndarray:
+        """Densify by applying to the identity (tests / small n only)."""
+        return self.apply(np.eye(3 * self.n))
+
+    def memory_report(self) -> dict[str, int]:
+        """Bytes held by each persistent component (Fig. 7a accounting)."""
+        report = {
+            "real_space_matrix": self.real.memory_bytes,
+            "influence_function": self.influence.memory_bytes,
+            "interpolation_matrix": (self.interp.memory_bytes
+                                     if self.interp is not None else 0),
+            # two K^3 x 3 float mesh arrays (forces and velocities)
+            "mesh_arrays": 2 * 3 * 8 * self.params.K ** 3,
+        }
+        report["total"] = sum(report.values())
+        return report
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Accumulated seconds per pipeline phase (Fig. 5 data)."""
+        return self.timers.breakdown()

@@ -1,0 +1,14 @@
+"""Block-sparse linear algebra.
+
+The real-space Ewald operator has natural 3x3 tensor blocks, so the
+paper stores it in Block Compressed Sparse Row (BCSR) format and runs
+SpMV on *blocks of vectors* (multiple right-hand sides), which is much
+more bandwidth-efficient than repeated single-vector products
+(Section IV.C, reference [24]).  :class:`~repro.sparse.bcsr.BlockCSR`
+is the from-scratch implementation; it can also export a
+``scipy.sparse`` CSR view used as a compiled-speed backend.
+"""
+
+from .bcsr import BlockCSR
+
+__all__ = ["BlockCSR"]

@@ -1,0 +1,34 @@
+"""Initial particle configurations.
+
+The paper's experiments use "a monodisperse suspension model of n
+particles with various volume fractions" (Section V.A).  This
+subpackage generates those systems:
+
+* :func:`~repro.systems.suspension.random_suspension` -- random
+  sequential addition (non-overlapping) for dilute/moderate packings,
+* :func:`~repro.systems.suspension.lattice_suspension` -- jittered FCC
+  for dense packings where RSA saturates,
+* :func:`~repro.systems.suspension.make_suspension` -- automatic choice,
+* :mod:`~repro.systems.lattice` -- plain cubic and FCC lattices,
+* :mod:`~repro.systems.polymer` -- bead-spring chains for the polymer
+  example application.
+"""
+
+from .lattice import simple_cubic_positions, fcc_positions
+from .suspension import (
+    Suspension,
+    make_suspension,
+    random_suspension,
+    lattice_suspension,
+)
+from .polymer import bead_spring_chain
+
+__all__ = [
+    "simple_cubic_positions",
+    "fcc_positions",
+    "Suspension",
+    "make_suspension",
+    "random_suspension",
+    "lattice_suspension",
+    "bead_spring_chain",
+]

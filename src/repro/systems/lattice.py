@@ -1,0 +1,49 @@
+"""Regular lattice generators for initial configurations."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["simple_cubic_positions", "fcc_positions"]
+
+
+def simple_cubic_positions(n: int, box_length: float) -> np.ndarray:
+    """``n`` sites of a simple cubic lattice filling a periodic cube.
+
+    The lattice has ``ceil(n^(1/3))`` sites per dimension; the first
+    ``n`` (lexicographic) sites are returned, offset by half a spacing
+    so no particle sits on the box boundary.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    m = math.ceil(n ** (1.0 / 3.0))
+    while m ** 3 < n:  # guard against floating-point cube roots
+        m += 1
+    spacing = box_length / m
+    idx = np.arange(m ** 3)[:n]
+    coords = np.stack(np.unravel_index(idx, (m, m, m)), axis=1).astype(np.float64)
+    return (coords + 0.5) * spacing
+
+
+def fcc_positions(n: int, box_length: float) -> np.ndarray:
+    """``n`` sites of a face-centered-cubic lattice in a periodic cube.
+
+    FCC packs four sites per conventional cell, reaching volume
+    fractions a simple cubic lattice cannot; used for dense suspensions.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"n must be positive, got {n}")
+    m = 1
+    while 4 * m ** 3 < n:
+        m += 1
+    spacing = box_length / m
+    base = np.array([[0.0, 0.0, 0.0], [0.5, 0.5, 0.0],
+                     [0.5, 0.0, 0.5], [0.0, 0.5, 0.5]])
+    cells = np.stack(np.meshgrid(*(np.arange(m),) * 3, indexing="ij"),
+                     axis=-1).reshape(-1, 3).astype(np.float64)
+    sites = (cells[:, None, :] + base[None, :, :]).reshape(-1, 3)
+    return (sites[:n] + 0.25) * spacing

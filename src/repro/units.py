@@ -1,0 +1,76 @@
+"""Physical constants and unit conventions.
+
+The library works in *reduced units* by default:
+
+* particle radius ``a = 1``,
+* thermal energy ``k_B T = 1``,
+* drag coefficient ``6 pi eta a = 1`` (i.e. viscosity ``eta = 1/(6 pi)``),
+
+so the Stokes-Einstein diffusion coefficient of an isolated particle is
+``D_0 = k_B T / (6 pi eta a) = 1`` and times are measured in units of
+``a^2 / D_0``.  Every formula in the package nevertheless carries the
+symbols ``(a, eta, kT)`` explicitly, so SI or CGS parameter sets work
+unchanged; :class:`FluidParams` is the single place they are bundled.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .errors import ConfigurationError
+
+__all__ = ["FluidParams", "REDUCED"]
+
+
+@dataclass(frozen=True)
+class FluidParams:
+    """Solvent and thermodynamic parameters of a BD simulation.
+
+    Parameters
+    ----------
+    radius:
+        Hydrodynamic radius ``a`` of the (monodisperse) particles.
+    viscosity:
+        Dynamic viscosity ``eta`` of the implicit solvent.
+    kT:
+        Thermal energy ``k_B T``.
+    """
+
+    radius: float = 1.0
+    viscosity: float = 1.0 / (6.0 * math.pi)
+    kT: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0:
+            raise ConfigurationError(f"radius must be positive, got {self.radius}")
+        if self.viscosity <= 0:
+            raise ConfigurationError(
+                f"viscosity must be positive, got {self.viscosity}")
+        if self.kT <= 0:
+            raise ConfigurationError(f"kT must be positive, got {self.kT}")
+
+    @property
+    def drag(self) -> float:
+        """Stokes drag coefficient ``6 pi eta a`` of one particle."""
+        return 6.0 * math.pi * self.viscosity * self.radius
+
+    @property
+    def mobility0(self) -> float:
+        """Self-mobility ``mu_0 = 1 / (6 pi eta a)`` of an isolated particle."""
+        return 1.0 / self.drag
+
+    @property
+    def D0(self) -> float:
+        """Stokes-Einstein diffusion coefficient ``k_B T / (6 pi eta a)``."""
+        return self.kT * self.mobility0
+
+    def with_(self, **kwargs) -> "FluidParams":
+        """Return a copy with the given fields replaced."""
+        data = {"radius": self.radius, "viscosity": self.viscosity, "kT": self.kT}
+        data.update(kwargs)
+        return FluidParams(**data)
+
+
+#: The default reduced-unit parameter set (``a = kT = 6 pi eta a = 1``).
+REDUCED = FluidParams()

@@ -1,0 +1,22 @@
+"""Small shared utilities: periodic boundary helpers, timers, validation."""
+
+from .pbc import minimum_image, wrap_positions, fractional_coordinates
+from .timing import Timer, PhaseTimer
+from .validation import (
+    as_positions,
+    as_force_block,
+    check_square_box,
+    require,
+)
+
+__all__ = [
+    "minimum_image",
+    "wrap_positions",
+    "fractional_coordinates",
+    "Timer",
+    "PhaseTimer",
+    "as_positions",
+    "as_force_block",
+    "check_square_box",
+    "require",
+]

@@ -1,0 +1,74 @@
+"""Periodic-boundary-condition helpers for a cubic simulation box.
+
+All BD simulations in the paper use a cubic ``L x L x L`` box with
+periodic boundary conditions (Section II.B).  These helpers implement the
+minimum-image convention and coordinate wrapping as cheap vectorized
+NumPy operations; they are the only place PBC arithmetic lives so the
+convention (positions wrapped into ``[0, L)``) is applied consistently.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["minimum_image", "wrap_positions", "fractional_coordinates"]
+
+
+def minimum_image(dr: np.ndarray, box_length: float) -> np.ndarray:
+    """Apply the minimum-image convention to displacement vectors.
+
+    Parameters
+    ----------
+    dr:
+        Array of displacement vectors, shape ``(..., 3)`` (any leading
+        shape), in the same length units as ``box_length``.
+    box_length:
+        Edge length ``L`` of the cubic box.
+
+    Returns
+    -------
+    numpy.ndarray
+        Displacements folded into ``[-L/2, L/2)`` componentwise.  A new
+        array is returned; the input is not modified.
+    """
+    dr = np.asarray(dr, dtype=np.float64)
+    return dr - box_length * np.round(dr / box_length)
+
+
+def wrap_positions(positions: np.ndarray, box_length: float) -> np.ndarray:
+    """Wrap absolute positions into the primary box ``[0, L)^3``.
+
+    Exact multiples of ``L`` map to ``0`` so that the result is always a
+    valid index base for mesh assignment.
+    """
+    positions = np.asarray(positions, dtype=np.float64)
+    wrapped = positions - box_length * np.floor(positions / box_length)
+    # floating point can produce wrapped == L when positions/L is a hair
+    # below an integer, or a stray negative when the division underflows
+    # (denormal inputs); fold both back into [0, L).
+    wrapped[wrapped >= box_length] -= box_length
+    wrapped[wrapped < 0.0] = 0.0
+    return wrapped
+
+
+def fractional_coordinates(positions: np.ndarray, box_length: float,
+                           mesh_dim: int) -> np.ndarray:
+    """Scaled fractional coordinates ``u = r * K / L`` in ``[0, K)``.
+
+    These are the coordinates used by the PME spreading equation
+    (Eq. 4 of the paper): particle positions measured in units of the
+    mesh spacing ``L / K``.
+
+    Parameters
+    ----------
+    positions:
+        Particle positions, shape ``(n, 3)``.
+    box_length:
+        Edge length ``L`` of the cubic box.
+    mesh_dim:
+        Mesh dimension ``K`` (the mesh is ``K x K x K``).
+    """
+    u = wrap_positions(positions, box_length) * (mesh_dim / box_length)
+    # Guard against u == K from rounding: K - eps wraps to 0-side support.
+    u[u >= mesh_dim] -= mesh_dim
+    return u

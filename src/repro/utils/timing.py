@@ -1,0 +1,108 @@
+"""Lightweight timers used by the benchmark harness and the hybrid scheduler.
+
+The paper's Section V instruments each PME phase separately (Fig. 5).
+:class:`PhaseTimer` accumulates named phase durations so operators can
+report a per-phase breakdown without littering the numerical code with
+timing logic.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "PhaseTimer"]
+
+
+@dataclass
+class Timer:
+    """A resettable stopwatch accumulating wall-clock time.
+
+    Use either as a context manager::
+
+        t = Timer()
+        with t:
+            work()
+        print(t.elapsed)
+
+    or manually via :meth:`start` / :meth:`stop`.
+    """
+
+    elapsed: float = 0.0
+    #: Number of completed start/stop intervals.
+    count: int = 0
+    _t0: float | None = None
+
+    def start(self) -> "Timer":
+        """Begin an interval; returns ``self`` for chaining."""
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """End the current interval and return its duration."""
+        if self._t0 is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        dt = time.perf_counter() - self._t0
+        self._t0 = None
+        self.elapsed += dt
+        self.count += 1
+        return dt
+
+    def reset(self) -> None:
+        """Zero the accumulated time and interval count."""
+        self.elapsed = 0.0
+        self.count = 0
+        self._t0 = None
+
+    @property
+    def mean(self) -> float:
+        """Mean interval duration (0 if no intervals completed)."""
+        return self.elapsed / self.count if self.count else 0.0
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock time for named phases of a computation.
+
+    The PME operator uses phase names ``"spread"``, ``"fft"``,
+    ``"influence"``, ``"ifft"``, ``"interpolate"``, ``"real"`` matching
+    the paper's Fig. 5 breakdown.
+    """
+
+    phases: dict[str, Timer] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str):
+        """Context manager timing one occurrence of phase ``name``."""
+        timer = self.phases.setdefault(name, Timer())
+        timer.start()
+        try:
+            yield timer
+        finally:
+            timer.stop()
+
+    def elapsed(self, name: str) -> float:
+        """Total time accumulated in phase ``name`` (0 if never run)."""
+        timer = self.phases.get(name)
+        return timer.elapsed if timer else 0.0
+
+    @property
+    def total(self) -> float:
+        """Sum of all phase times."""
+        return sum(t.elapsed for t in self.phases.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Mapping of phase name to accumulated seconds."""
+        return {name: t.elapsed for name, t in self.phases.items()}
+
+    def reset(self) -> None:
+        """Zero all phases (the phase names are retained)."""
+        for t in self.phases.values():
+            t.reset()

@@ -1,0 +1,71 @@
+"""Input validation helpers shared by the public API.
+
+Every operator in the package accepts particle positions as an ``(n, 3)``
+float array and forces either as a flat ``(3n,)`` vector or an
+``(3n, s)`` block of ``s`` vectors (Section IV.C of the paper applies the
+real-space SpMV to blocks of vectors).  These helpers normalize and check
+those shapes in one place so error messages are uniform.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["require", "as_positions", "as_force_block", "check_square_box"]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ConfigurationError` with ``message`` unless ``condition``."""
+    if not condition:
+        raise ConfigurationError(message)
+
+
+def as_positions(positions, n: int | None = None) -> np.ndarray:
+    """Validate and return positions as a float64 C-contiguous ``(n, 3)`` array.
+
+    Parameters
+    ----------
+    positions:
+        Any array-like of shape ``(n, 3)``.
+    n:
+        If given, additionally require exactly this number of particles.
+    """
+    r = np.ascontiguousarray(positions, dtype=np.float64)
+    if r.ndim != 2 or r.shape[1] != 3:
+        raise ConfigurationError(
+            f"positions must have shape (n, 3), got {r.shape}")
+    if n is not None and r.shape[0] != n:
+        raise ConfigurationError(
+            f"expected {n} particles, got {r.shape[0]}")
+    if not np.all(np.isfinite(r)):
+        raise ConfigurationError("positions contain non-finite values")
+    return r
+
+
+def as_force_block(forces, n: int) -> tuple[np.ndarray, bool]:
+    """Validate forces for ``n`` particles; return ``(block, was_flat)``.
+
+    ``block`` always has shape ``(3n, s)`` with ``s >= 1``; ``was_flat``
+    records whether the caller passed a flat ``(3n,)`` vector so the
+    result can be returned in the same shape.
+    """
+    f = np.asarray(forces, dtype=np.float64)
+    was_flat = f.ndim == 1
+    if was_flat:
+        f = f[:, None]
+    if f.ndim != 2 or f.shape[0] != 3 * n:
+        raise ConfigurationError(
+            f"forces must have shape (3n,) or (3n, s) with n={n}, "
+            f"got {np.asarray(forces).shape}")
+    return np.ascontiguousarray(f), was_flat
+
+
+def check_square_box(box_length: float) -> float:
+    """Validate the cubic box edge length and return it as a float."""
+    box_length = float(box_length)
+    if not np.isfinite(box_length) or box_length <= 0:
+        raise ConfigurationError(
+            f"box_length must be a positive finite number, got {box_length}")
+    return box_length

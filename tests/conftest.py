@@ -1,0 +1,39 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Box, FluidParams, REDUCED
+from repro.systems import random_suspension
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(20140519)  # IPDPS 2014 conference date
+
+
+@pytest.fixture
+def small_box():
+    """A 20x20x20 periodic box."""
+    return Box(20.0)
+
+
+@pytest.fixture
+def small_suspension():
+    """A 40-particle suspension at Phi = 0.2 (deterministic)."""
+    return random_suspension(40, 0.2, seed=7)
+
+
+@pytest.fixture
+def medium_suspension():
+    """A 120-particle suspension at Phi = 0.2 (deterministic)."""
+    return random_suspension(120, 0.2, seed=3)
+
+
+@pytest.fixture
+def fluid():
+    """The reduced-unit fluid parameters."""
+    return REDUCED

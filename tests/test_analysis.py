@@ -1,0 +1,152 @@
+"""Tests for the analysis subpackage (MSD, diffusion, statistics, g(r))."""
+
+import numpy as np
+import pytest
+
+from repro import Box, REDUCED, Trajectory
+from repro.analysis import (
+    block_average,
+    diffusion_coefficient,
+    finite_size_correction,
+    mean_squared_displacement,
+    radial_distribution,
+    short_time_self_diffusion,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMSD:
+    def test_linear_motion(self):
+        # r(t) = v t -> MSD(lag) = |v|^2 lag^2
+        t = np.arange(10)
+        v = np.array([1.0, 2.0, 2.0])   # |v|^2 = 9
+        pos = t[:, None, None] * v[None, None, :]
+        msd = mean_squared_displacement(pos)
+        np.testing.assert_allclose(msd, 9.0 * np.arange(10) ** 2)
+
+    def test_static_configuration(self):
+        pos = np.ones((5, 3, 3))
+        np.testing.assert_allclose(mean_squared_displacement(pos), 0.0)
+
+    def test_max_lag_truncation(self):
+        pos = np.random.default_rng(0).standard_normal((20, 4, 3))
+        msd = mean_squared_displacement(pos, max_lag=5)
+        assert msd.shape == (6,)
+
+    def test_brownian_scaling_statistical(self):
+        # pure random walk: MSD(lag) ~ 3 sigma^2 lag
+        rng = np.random.default_rng(1)
+        sigma = 0.1
+        steps = rng.normal(0, sigma, size=(2000, 50, 3))
+        pos = np.cumsum(steps, axis=0)
+        msd = mean_squared_displacement(pos, max_lag=5)
+        for lag in (1, 3, 5):
+            assert msd[lag] == pytest.approx(3 * sigma ** 2 * lag, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            mean_squared_displacement(np.zeros((1, 3, 3)))
+        with pytest.raises(ConfigurationError):
+            mean_squared_displacement(np.zeros((5, 3, 2)))
+
+
+class TestDiffusionCoefficient:
+    def _make_trajectory(self, D, n_frames=400, n_particles=200, dt=0.01,
+                         seed=0):
+        rng = np.random.default_rng(seed)
+        steps = rng.normal(0, np.sqrt(2 * D * dt),
+                           size=(n_frames, n_particles, 3))
+        pos = np.cumsum(steps, axis=0)
+        times = np.arange(n_frames) * dt
+        return Trajectory(times, pos, box_length=100.0, fluid=REDUCED)
+
+    def test_recovers_known_diffusion(self):
+        traj = self._make_trajectory(D=0.7)
+        d_est = diffusion_coefficient(traj, lag_frames=1)
+        assert d_est == pytest.approx(0.7, rel=0.05)
+
+    def test_lag_choice_consistent(self):
+        traj = self._make_trajectory(D=0.5, seed=1)
+        d1 = diffusion_coefficient(traj, lag_frames=1)
+        d5 = diffusion_coefficient(traj, lag_frames=5)
+        assert d5 == pytest.approx(d1, rel=0.1)
+
+    def test_validation(self):
+        traj = self._make_trajectory(D=1.0, n_frames=3)
+        with pytest.raises(ConfigurationError):
+            diffusion_coefficient(traj, lag_frames=0)
+        with pytest.raises(ConfigurationError):
+            diffusion_coefficient(traj, lag_frames=10)
+
+
+class TestTheory:
+    def test_short_time_dilute_limit(self):
+        assert short_time_self_diffusion(0.0) == 1.0
+
+    def test_monotone_decrease(self):
+        phis = np.linspace(0, 0.45, 10)
+        values = [short_time_self_diffusion(p) for p in phis]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_batchelor_slope(self):
+        eps = 1e-6
+        slope = (short_time_self_diffusion(eps) - 1.0) / eps
+        assert slope == pytest.approx(-1.8315, rel=1e-6)
+
+    def test_finite_size_limits(self):
+        assert finite_size_correction(0.0) == 1.0
+        assert finite_size_correction(0.1) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            short_time_self_diffusion(-0.1)
+        with pytest.raises(ConfigurationError):
+            finite_size_correction(0.6)
+
+
+class TestBlockAverage:
+    def test_constant_series(self):
+        mean, err = block_average(np.full(100, 3.0))
+        assert mean == pytest.approx(3.0)
+        assert err == pytest.approx(0.0, abs=1e-12)
+
+    def test_iid_series_error_scale(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(5.0, 1.0, size=10_000)
+        mean, err = block_average(x, n_blocks=10)
+        assert mean == pytest.approx(5.0, abs=5 * err + 0.05)
+        assert err == pytest.approx(1.0 / np.sqrt(10_000), rel=0.8)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            block_average(np.ones(5), n_blocks=1)
+        with pytest.raises(ConfigurationError):
+            block_average(np.ones(3), n_blocks=10)
+
+
+class TestRDF:
+    def test_ideal_gas_flat(self):
+        rng = np.random.default_rng(3)
+        box = Box(20.0)
+        r = rng.uniform(0, box.length, size=(3000, 3))
+        centers, g = radial_distribution(r, box, r_max=8.0, n_bins=20)
+        # skip the innermost (poorly sampled) bins
+        np.testing.assert_allclose(g[3:], 1.0, atol=0.15)
+
+    def test_hard_sphere_exclusion(self):
+        from repro.systems import random_suspension
+        susp = random_suspension(300, 0.2, seed=0)
+        centers, g = radial_distribution(susp.positions, susp.box,
+                                         r_max=min(5.0, susp.box.length / 2),
+                                         n_bins=25)
+        # no pairs below contact distance 2a
+        assert np.all(g[centers < 2.0] == 0.0)
+        # contact peak present at/just above 2a
+        assert g[(centers >= 2.0) & (centers < 3.0)].max() > 1.0
+
+    def test_validation(self):
+        box = Box(10.0)
+        with pytest.raises(ConfigurationError):
+            radial_distribution(np.zeros((1, 3)), box, 3.0)
+        with pytest.raises(ConfigurationError):
+            radial_distribution(np.zeros((5, 3)), box, 6.0)

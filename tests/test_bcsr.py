@@ -1,0 +1,143 @@
+"""Tests for the BCSR block-sparse matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.sparse import BlockCSR
+
+
+def _random_symmetric_bcsr(n, density, seed):
+    rng = np.random.default_rng(seed)
+    iu, ju = np.triu_indices(n, k=1)
+    keep = rng.random(iu.size) < density
+    i, j = iu[keep], ju[keep]
+    blocks = rng.standard_normal((i.size, 3, 3))
+    diag = rng.standard_normal((n, 3, 3))
+    diag = 0.5 * (diag + diag.transpose(0, 2, 1))
+    return BlockCSR.from_pairs(n, i, j, blocks, diag_blocks=diag), (i, j, blocks, diag)
+
+
+def _dense_reference(n, i, j, blocks, diag):
+    out = np.zeros((3 * n, 3 * n))
+    for k in range(i.size):
+        out[3 * i[k]:3 * i[k] + 3, 3 * j[k]:3 * j[k] + 3] += blocks[k]
+        out[3 * j[k]:3 * j[k] + 3, 3 * i[k]:3 * i[k] + 3] += blocks[k].T
+    for b in range(n):
+        out[3 * b:3 * b + 3, 3 * b:3 * b + 3] += diag[b]
+    return out
+
+
+@pytest.mark.parametrize("n,density", [(5, 0.5), (12, 0.2), (20, 0.05)])
+def test_to_dense_matches_reference(n, density):
+    bcsr, (i, j, blocks, diag) = _random_symmetric_bcsr(n, density, seed=n)
+    np.testing.assert_allclose(bcsr.to_dense(),
+                               _dense_reference(n, i, j, blocks, diag))
+
+
+@pytest.mark.parametrize("n,density", [(5, 0.5), (15, 0.2)])
+def test_matvec_matches_dense(n, density):
+    bcsr, refdata = _random_symmetric_bcsr(n, density, seed=n + 100)
+    dense = _dense_reference(n, *refdata)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal(3 * n)
+    np.testing.assert_allclose(bcsr.matvec(x), dense @ x, rtol=1e-12)
+
+
+def test_matvec_multivector_matches_column_loop():
+    bcsr, _ = _random_symmetric_bcsr(10, 0.3, seed=42)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((30, 7))
+    block = bcsr.matvec(x)
+    for c in range(7):
+        np.testing.assert_allclose(block[:, c], bcsr.matvec(x[:, c]),
+                                   rtol=1e-12)
+
+
+def test_matmul_operator():
+    bcsr, refdata = _random_symmetric_bcsr(6, 0.4, seed=9)
+    x = np.ones(18)
+    np.testing.assert_allclose(bcsr @ x, bcsr.matvec(x))
+
+
+def test_scipy_export_matches():
+    bcsr, refdata = _random_symmetric_bcsr(14, 0.25, seed=5)
+    dense = _dense_reference(14, *refdata)
+    np.testing.assert_allclose(bcsr.to_scipy().toarray(), dense, rtol=1e-12)
+
+
+def test_symmetry_of_from_pairs():
+    bcsr, _ = _random_symmetric_bcsr(8, 0.4, seed=2)
+    dense = bcsr.to_dense()
+    np.testing.assert_allclose(dense, dense.T, rtol=1e-12)
+
+
+def test_empty_rows_handled():
+    # particle 2 interacts with nobody and has no diagonal
+    i = np.array([0])
+    j = np.array([1])
+    blocks = np.ones((1, 3, 3))
+    bcsr = BlockCSR.from_pairs(3, i, j, blocks)
+    y = bcsr.matvec(np.ones(9))
+    np.testing.assert_allclose(y[6:], 0.0)
+    np.testing.assert_allclose(y[:3], 3.0)
+
+
+def test_zero_matrix():
+    bcsr = BlockCSR(4, np.zeros(5, dtype=int), np.empty(0, dtype=int),
+                    np.empty((0, 3, 3)))
+    np.testing.assert_allclose(bcsr.matvec(np.ones(12)), 0.0)
+
+
+def test_rejects_diagonal_pairs():
+    with pytest.raises(ConfigurationError):
+        BlockCSR.from_pairs(3, np.array([1]), np.array([1]),
+                            np.ones((1, 3, 3)))
+
+
+def test_rejects_bad_shapes():
+    with pytest.raises(ConfigurationError):
+        BlockCSR.from_pairs(3, np.array([0]), np.array([1]),
+                            np.ones((2, 3, 3)))
+    with pytest.raises(ConfigurationError):
+        BlockCSR(2, np.array([0, 1, 1]), np.array([0]), np.ones((1, 2, 2)))
+    with pytest.raises(ConfigurationError):
+        BlockCSR(2, np.array([0, 1]), np.array([0]), np.ones((1, 3, 3)))
+
+
+def test_rejects_wrong_operand_size():
+    bcsr, _ = _random_symmetric_bcsr(4, 0.5, seed=3)
+    with pytest.raises(ConfigurationError):
+        bcsr.matvec(np.ones(13))
+
+
+def test_memory_accounting_positive():
+    bcsr, _ = _random_symmetric_bcsr(10, 0.3, seed=8)
+    assert bcsr.memory_bytes > 0
+    assert bcsr.nnz_blocks == bcsr.blocks.shape[0]
+
+
+@given(st.integers(2, 12), st.floats(0.05, 0.9), st.integers(0, 1000))
+@settings(max_examples=25, deadline=None)
+def test_matvec_linearity_property(n, density, seed):
+    bcsr, _ = _random_symmetric_bcsr(n, density, seed)
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(3 * n)
+    y = rng.standard_normal(3 * n)
+    a, b = 2.5, -1.25
+    np.testing.assert_allclose(bcsr.matvec(a * x + b * y),
+                               a * bcsr.matvec(x) + b * bcsr.matvec(y),
+                               rtol=1e-10, atol=1e-10)
+
+
+@given(st.integers(2, 10), st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_symmetric_bcsr_is_self_adjoint(n, seed):
+    bcsr, _ = _random_symmetric_bcsr(n, 0.4, seed)
+    rng = np.random.default_rng(seed + 1)
+    x = rng.standard_normal(3 * n)
+    y = rng.standard_normal(3 * n)
+    assert np.dot(y, bcsr.matvec(x)) == pytest.approx(
+        np.dot(x, bcsr.matvec(y)), rel=1e-9, abs=1e-9)

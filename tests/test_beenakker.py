@@ -1,0 +1,132 @@
+"""Tests for Beenakker's Ewald scalar functions.
+
+The two deep consistency properties:
+
+1. divergence-freeness ``f' + g' + 2g/r = 0`` (the reciprocal projector
+   ``I - khat khat^T`` is transverse, so the real-space remainder must
+   be too),
+2. recovery of the plain RPY tensor as ``xi -> 0`` and vanishing as
+   ``xi -> inf`` (the splitting moves everything between the two sums).
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.rpy import beenakker
+from repro.rpy.tensor import rpy_scalar_coefficients
+
+
+def test_divergence_free_identity():
+    # numerical derivative check of f' + g' + 2 g / r == 0
+    xi = 0.8
+    r = np.linspace(2.1, 8.0, 50)
+    h = 1e-6
+    f_p, g_p = beenakker.real_space_coefficients(r + h, xi)
+    f_m, g_m = beenakker.real_space_coefficients(r - h, xi)
+    _, g0 = beenakker.real_space_coefficients(r, xi)
+    div = (f_p - f_m) / (2 * h) + (g_p - g_m) / (2 * h) + 2 * g0 / r
+    scale = np.abs(g0).max()
+    np.testing.assert_allclose(div, 0.0, atol=1e-6 * max(scale, 1.0))
+
+
+def test_small_xi_limit_recovers_rpy():
+    r = np.array([2.5, 4.0, 7.0])
+    # the splitting converges linearly in xi: error ~ 4.5 xi a / sqrt(pi)
+    f, g = beenakker.real_space_coefficients(r, xi=1e-6)
+    f_rpy, g_rpy = rpy_scalar_coefficients(r, 1.0)
+    np.testing.assert_allclose(f, f_rpy, rtol=1e-4)
+    np.testing.assert_allclose(g, g_rpy, rtol=1e-4)
+
+
+def test_large_xi_real_space_vanishes():
+    f, g = beenakker.real_space_coefficients(np.array([3.0]), xi=10.0)
+    assert abs(f[0]) < 1e-10
+    assert abs(g[0]) < 1e-10
+
+
+def test_self_scalar_limits():
+    assert beenakker.self_mobility_scalar(1e-9) == pytest.approx(1.0)
+    # exact formula at xi = 0.5, a = 1
+    xa = 0.5
+    expect = 1 - 6 * xa / math.sqrt(math.pi) + 40 * xa ** 3 / (
+        3 * math.sqrt(math.pi))
+    assert beenakker.self_mobility_scalar(0.5) == pytest.approx(expect)
+
+
+def test_reciprocal_scalar_zero_mode_excluded():
+    out = beenakker.reciprocal_scalar(np.array([0.0, 1.0]), xi=1.0)
+    assert out[0] == 0.0
+    assert out[1] != 0.0
+
+
+def test_reciprocal_scalar_formula():
+    # direct evaluation of Eq. 5 at one wavenumber
+    k2, xi, a = 2.0, 0.7, 1.0
+    x = k2 / (4 * xi * xi)
+    # chi = 1 + k^2/(4 xi^2) + k^4/(8 xi^4) = 1 + x + 2 x^2
+    expect = ((a - a ** 3 * k2 / 3.0) * (1 + x + 2.0 * x * x)
+              * (6 * math.pi / k2) * math.exp(-x))
+    out = beenakker.reciprocal_scalar(np.array([k2]), xi, a)
+    assert out[0] == pytest.approx(expect, rel=1e-12)
+
+
+def test_reciprocal_scalar_gaussian_decay():
+    xi = 1.0
+    k_small = beenakker.reciprocal_scalar(np.array([1.0]), xi)
+    k_large = beenakker.reciprocal_scalar(np.array([400.0]), xi)
+    assert abs(k_large[0]) < 1e-30 * abs(k_small[0])
+
+
+def test_cutoff_helpers_monotone():
+    assert beenakker.real_space_cutoff(1.0, 1e-8) > beenakker.real_space_cutoff(1.0, 1e-4)
+    assert beenakker.reciprocal_cutoff(1.0, 1e-8) > beenakker.reciprocal_cutoff(1.0, 1e-4)
+    # scaling with xi
+    assert beenakker.real_space_cutoff(2.0, 1e-6) == pytest.approx(
+        beenakker.real_space_cutoff(1.0, 1e-6) / 2)
+
+
+def test_cutoff_helpers_validate_tol():
+    with pytest.raises(ValueError):
+        beenakker.real_space_cutoff(1.0, 0.0)
+    with pytest.raises(ValueError):
+        beenakker.reciprocal_cutoff(1.0, 2.0)
+
+
+def test_overlap_correction_zero_beyond_contact():
+    df, dg = beenakker.overlap_correction_coefficients(np.array([2.0, 3.0]))
+    np.testing.assert_allclose(df, 0.0)
+    np.testing.assert_allclose(dg, 0.0)
+
+
+def test_overlap_correction_continuity_at_contact():
+    df, dg = beenakker.overlap_correction_coefficients(
+        np.array([2.0 - 1e-10]))
+    assert abs(df[0]) < 1e-9
+    assert abs(dg[0]) < 1e-9
+
+
+def test_overlap_correction_matches_branch_difference():
+    r = np.array([1.2])
+    df, dg = beenakker.overlap_correction_coefficients(r)
+    f_reg, g_reg = rpy_scalar_coefficients(r, 1.0)
+    f_far = 0.75 / r + 0.5 / r ** 3
+    g_far = 0.75 / r - 1.5 / r ** 3
+    assert df[0] == pytest.approx(float(f_reg[0] - f_far[0]), rel=1e-12)
+    assert dg[0] == pytest.approx(float(g_reg[0] - g_far[0]), rel=1e-12)
+
+
+def test_real_space_tensors_shape_and_symmetry():
+    rng = np.random.default_rng(0)
+    rij = rng.standard_normal((10, 3)) + np.array([4.0, 0, 0])
+    t = beenakker.real_space_tensors(rij, xi=0.7)
+    assert t.shape == (10, 3, 3)
+    np.testing.assert_allclose(t, t.transpose(0, 2, 1), rtol=1e-12)
+
+
+def test_rejects_invalid_inputs():
+    with pytest.raises(ValueError):
+        beenakker.real_space_coefficients(np.array([0.0]), 1.0)
+    with pytest.raises(ValueError):
+        beenakker.real_space_coefficients(np.array([1.0]), -1.0)

@@ -1,0 +1,81 @@
+"""Tests for repro.geometry.box."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Box
+from repro.errors import ConfigurationError
+
+
+def test_volume():
+    assert Box(3.0).volume == pytest.approx(27.0)
+
+
+def test_invalid_length():
+    for bad in (0.0, -1.0, float("nan"), float("inf")):
+        with pytest.raises(ConfigurationError):
+            Box(bad)
+
+
+def test_for_volume_fraction_roundtrip():
+    box = Box.for_volume_fraction(100, 0.2, radius=1.0)
+    assert box.volume_fraction(100, 1.0) == pytest.approx(0.2)
+
+
+def test_for_volume_fraction_radius_scaling():
+    b1 = Box.for_volume_fraction(10, 0.1, radius=1.0)
+    b2 = Box.for_volume_fraction(10, 0.1, radius=2.0)
+    assert b2.length == pytest.approx(2.0 * b1.length)
+
+
+def test_for_volume_fraction_rejects_dense():
+    with pytest.raises(ConfigurationError):
+        Box.for_volume_fraction(10, 0.8)
+
+
+def test_for_volume_fraction_rejects_nonpositive_n():
+    with pytest.raises(ConfigurationError):
+        Box.for_volume_fraction(0, 0.2)
+
+
+def test_minimum_image_delegation():
+    box = Box(10.0)
+    np.testing.assert_allclose(
+        box.minimum_image(np.array([[6.0, 0.0, 0.0]])), [[-4.0, 0.0, 0.0]])
+
+
+def test_distances_minimum_image():
+    box = Box(10.0)
+    r = np.array([[0.5, 0.0, 0.0], [9.5, 0.0, 0.0]])
+    rij, dist = box.distances(r, np.array([0]), np.array([1]))
+    assert dist[0] == pytest.approx(1.0)
+    np.testing.assert_allclose(rij, [[1.0, 0.0, 0.0]])
+
+
+def test_distances_vector_orientation():
+    # rij points from j to i
+    box = Box(10.0)
+    r = np.array([[2.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+    rij, _ = box.distances(r, np.array([0]), np.array([1]))
+    np.testing.assert_allclose(rij, [[1.0, 0.0, 0.0]])
+
+
+def test_fractional():
+    box = Box(8.0)
+    u = box.fractional(np.array([[4.0, 0.0, 2.0]]), 16)
+    np.testing.assert_allclose(u, [[8.0, 0.0, 4.0]])
+
+
+def test_box_is_hashable_and_frozen():
+    box = Box(5.0)
+    assert hash(box) == hash(Box(5.0))
+    with pytest.raises(Exception):
+        box.length = 6.0
+
+
+def test_volume_fraction_formula():
+    box = Box(10.0)
+    expected = 5 * (4.0 / 3.0) * math.pi / 1000.0
+    assert box.volume_fraction(5, 1.0) == pytest.approx(expected)

@@ -1,0 +1,116 @@
+"""Tests for cardinal B-splines and Euler spline coefficients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.pme.bspline import (
+    bspline_value,
+    bspline_weights,
+    euler_spline_coefficients,
+    euler_spline_modulus,
+)
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 5, 6, 8])
+def test_partition_of_unity(p):
+    w = np.linspace(0, 1, 33, endpoint=False)
+    weights = bspline_weights(w, p)
+    np.testing.assert_allclose(weights.sum(axis=1), 1.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("p", [2, 4, 6])
+def test_weights_nonnegative(p):
+    rng = np.random.default_rng(0)
+    weights = bspline_weights(rng.random(100), p)
+    assert np.all(weights >= -1e-14)
+
+
+@pytest.mark.parametrize("p", [2, 3, 4, 6])
+def test_weights_match_direct_evaluation(p):
+    w = np.array([0.0, 0.17, 0.5, 0.83, 0.999])
+    weights = bspline_weights(w, p)
+    for j in range(p):
+        np.testing.assert_allclose(weights[:, j], bspline_value(w + j, p),
+                                   atol=1e-12)
+
+
+def test_bspline_value_support():
+    x = np.array([-0.5, 0.0, 4.0, 4.5])
+    np.testing.assert_allclose(bspline_value(x, 4), 0.0)
+
+
+def test_bspline_value_symmetry():
+    # M_p(x) = M_p(p - x)
+    x = np.linspace(0.1, 3.9, 20)
+    np.testing.assert_allclose(bspline_value(x, 4), bspline_value(4 - x, 4),
+                               atol=1e-12)
+
+
+def test_bspline_value_normalization():
+    # integral of M_p over its support is 1
+    x = np.linspace(0, 6, 60001)
+    integral = np.trapezoid(bspline_value(x, 6), x)
+    assert integral == pytest.approx(1.0, abs=1e-6)
+
+
+def test_bspline_m2_triangle():
+    np.testing.assert_allclose(bspline_value(np.array([0.5, 1.0, 1.5]), 2),
+                               [0.5, 1.0, 0.5])
+
+
+def test_order_validation():
+    with pytest.raises(ConfigurationError):
+        bspline_weights(np.array([0.5]), 1)
+    with pytest.raises(ConfigurationError):
+        bspline_value(np.array([0.5]), 0)
+
+
+@given(st.integers(2, 8), st.floats(0.0, 0.999999))
+@settings(max_examples=60, deadline=None)
+def test_partition_of_unity_property(p, w):
+    weights = bspline_weights(np.array([w]), p)
+    assert weights.sum() == pytest.approx(1.0, abs=1e-10)
+
+
+class TestEulerSpline:
+    @pytest.mark.parametrize("K,p", [(16, 4), (32, 6), (64, 8)])
+    def test_interpolation_identity(self, K, p):
+        # b(k) sum_m M_p(u - m) exp(2 pi i k m / K) ~ exp(2 pi i k u / K)
+        # The spline interpolation of a complex exponential is accurate
+        # to O((2k/K)^p) between mesh points (measured bound: the error
+        # stays under 2 (2k/K)^p across orders 4-8).
+        b = euler_spline_coefficients(K, p)
+        rng = np.random.default_rng(0)
+        for u in rng.uniform(0, K, size=4):
+            base = int(np.floor(u))
+            mesh_pts = (base - np.arange(p)) % K
+            weights = bspline_weights(np.array([u - base]), p)[0]
+            for k in (1, K // 8, K // 4):
+                approx = b[k] * np.sum(
+                    weights * np.exp(2j * np.pi * k * mesh_pts / K))
+                exact = np.exp(2j * np.pi * k * u / K)
+                assert abs(approx - exact) < 2.0 * (2.0 * k / K) ** p
+
+    def test_b_at_zero_mode_is_one(self):
+        b = euler_spline_coefficients(32, 6)
+        assert b[0] == pytest.approx(1.0)
+
+    def test_modulus_positive_even_order(self):
+        bsq = euler_spline_modulus(32, 6)
+        assert np.all(bsq > 0)
+
+    def test_odd_order_nyquist_dropped(self):
+        b = euler_spline_coefficients(16, 5)
+        assert b[8] == 0.0
+
+    def test_modulus_is_squared_magnitude(self):
+        b = euler_spline_coefficients(24, 4)
+        np.testing.assert_allclose(euler_spline_modulus(24, 4),
+                                   np.abs(b) ** 2, atol=1e-12)
+
+    def test_k_must_hold_spline(self):
+        with pytest.raises(ConfigurationError):
+            euler_spline_coefficients(4, 6)

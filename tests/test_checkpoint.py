@@ -1,0 +1,84 @@
+"""Tests for simulation checkpointing and bit-exact resumption."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import (
+    checkpoint_callback,
+    load_checkpoint,
+    resume,
+    save_checkpoint,
+)
+from repro.core.integrators import MatrixFreeBD
+from repro.errors import ConfigurationError
+from repro.pme.operator import PMEParams
+from repro.systems import random_suspension
+
+PARAMS = PMEParams(xi=0.9, r_max=4.0, K=24, p=4)
+
+
+def _integrator(susp, seed=5):
+    return MatrixFreeBD(box=susp.box, force_field=None, dt=1e-3,
+                        lambda_rpy=4, seed=seed, pme_params=PARAMS)
+
+
+def test_rng_state_roundtrip(tmp_path):
+    rng = np.random.default_rng(123)
+    rng.standard_normal(100)       # advance the stream
+    path = tmp_path / "c.npz"
+    save_checkpoint(path, np.zeros((2, 3)), np.zeros((2, 3)), 7, rng)
+    _, _, step, rng2 = load_checkpoint(path)
+    assert step == 7
+    np.testing.assert_array_equal(rng2.standard_normal(10),
+                                  rng.standard_normal(10))
+
+
+def test_bit_exact_resumption(tmp_path):
+    susp = random_suspension(20, 0.1, seed=1)
+
+    # uninterrupted run: 12 steps
+    bd_full = _integrator(susp)
+    full, _ = bd_full.run(susp.positions, 12)
+
+    # interrupted run: 8 steps, checkpoint, resume 4 (block-aligned:
+    # 8 and 12 are multiples of lambda_rpy=4)
+    bd_part = _integrator(susp)
+    path = tmp_path / "ckpt.npz"
+    bd_part.run(susp.positions, 8,
+                callback=checkpoint_callback(path, bd_part, 8))
+    bd_resumed = _integrator(susp, seed=999)   # seed replaced on resume
+    resumed, _ = resume(path, bd_resumed, 4)
+
+    np.testing.assert_array_equal(resumed, full)
+
+
+def test_resume_offsets_callback_steps(tmp_path):
+    susp = random_suspension(15, 0.1, seed=2)
+    bd = _integrator(susp)
+    path = tmp_path / "c.npz"
+    bd.run(susp.positions, 4, callback=checkpoint_callback(path, bd, 4))
+    bd2 = _integrator(susp)
+    steps = []
+    resume(path, bd2, 4, callback=lambda s, w, u: steps.append(s))
+    assert steps == [5, 6, 7, 8]
+
+
+def test_unaligned_interval_warns(tmp_path):
+    susp = random_suspension(10, 0.1, seed=3)
+    bd = _integrator(susp)
+    with pytest.warns(UserWarning, match="lambda_RPY"):
+        checkpoint_callback(tmp_path / "c.npz", bd, 3)
+
+
+def test_rejects_foreign_file(tmp_path):
+    path = tmp_path / "x.npz"
+    np.savez(path, nothing=np.ones(2))
+    with pytest.raises(ConfigurationError):
+        load_checkpoint(path)
+
+
+def test_interval_validation(tmp_path):
+    susp = random_suspension(10, 0.1, seed=4)
+    bd = _integrator(susp)
+    with pytest.raises(ConfigurationError):
+        checkpoint_callback(tmp_path / "c.npz", bd, 0)

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "repro" in out
+    assert "numpy" in out
+
+
+def test_tune(capsys):
+    assert main(["tune", "-n", "500"]) == 0
+    out = capsys.readouterr().out
+    assert "K=" in out
+    assert "alpha=" in out
+
+
+def test_simulate_and_analyze(tmp_path, capsys):
+    out_file = tmp_path / "traj.npz"
+    rc = main(["simulate", "-n", "25", "--phi", "0.1", "--steps", "6",
+               "--record-interval", "2", "--e-p", "1e-2",
+               "-o", str(out_file)])
+    assert rc == 0
+    assert out_file.exists()
+    rc = main(["analyze", str(out_file)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "D(tau->0)" in out
+
+
+def test_simulate_ewald_backend(tmp_path):
+    out_file = tmp_path / "traj.npz"
+    rc = main(["simulate", "-n", "20", "--steps", "4",
+               "--algorithm", "ewald", "-o", str(out_file)])
+    assert rc == 0
+    from repro.core.trajectory_io import load_trajectory
+    traj = load_trajectory(out_file)
+    assert traj.n_particles == 20
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_algorithm():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["simulate", "--algorithm", "magic"])
+
+
+def test_analyze_max_lag(tmp_path, capsys):
+    # build a tiny trajectory directly
+    from repro import FluidParams, Trajectory
+    from repro.core.trajectory_io import save_trajectory
+    rng = np.random.default_rng(0)
+    traj = Trajectory(times=np.arange(10) * 0.1,
+                      positions=np.cumsum(
+                          rng.normal(0, 0.1, (10, 5, 3)), axis=0),
+                      box_length=10.0, fluid=FluidParams())
+    path = tmp_path / "t.npz"
+    save_trajectory(path, traj)
+    assert main(["analyze", str(path), "--max-lag", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "D(tau=" in out

@@ -1,0 +1,91 @@
+"""Tests for the independent-set (8-color) spreading schedule."""
+
+import numpy as np
+import pytest
+
+from repro import Box
+from repro.errors import ConfigurationError
+from repro.parallel.coloring import ColoredSpreader, IndependentSetColoring
+from repro.pme.spread import InterpolationMatrix
+
+
+@pytest.fixture
+def setup():
+    box = Box(16.0)
+    rng = np.random.default_rng(21)
+    r = rng.uniform(0, box.length, size=(120, 3))
+    return box, r
+
+
+def test_colored_spread_matches_matrix(setup):
+    box, r = setup
+    K, p = 32, 4
+    spreader = ColoredSpreader(r, box, K, p)
+    interp = InterpolationMatrix(r, box, K, p)
+    rng = np.random.default_rng(0)
+    f = rng.standard_normal(r.shape[0])
+    np.testing.assert_allclose(spreader.spread(f), interp.spread(f),
+                               atol=1e-13)
+
+
+def test_colored_spread_multivector(setup):
+    box, r = setup
+    spreader = ColoredSpreader(r, box, 32, 4)
+    interp = InterpolationMatrix(r, box, 32, 4)
+    f = np.random.default_rng(1).standard_normal((r.shape[0], 3))
+    np.testing.assert_allclose(spreader.spread(f), interp.spread(f),
+                               atol=1e-13)
+
+
+def test_eight_colors_in_3d(setup):
+    box, r = setup
+    spreader = ColoredSpreader(r, box, 32, 4)
+    assert spreader.n_colors == 8
+
+
+def test_groups_partition_particles(setup):
+    box, r = setup
+    coloring = IndependentSetColoring(32, 4)
+    groups = coloring.groups(r, box)
+    all_indices = np.sort(np.concatenate(groups))
+    np.testing.assert_array_equal(all_indices, np.arange(r.shape[0]))
+
+
+def test_block_footprints_disjoint_within_color(setup):
+    # the race-freedom property: within a color, different blocks write
+    # disjoint sets of mesh points
+    box, r = setup
+    spreader = ColoredSpreader(r, box, 32, 4)
+    for color in range(spreader.n_colors):
+        footprints = spreader.block_footprints(color)
+        for a in range(len(footprints)):
+            for b in range(a + 1, len(footprints)):
+                overlap = np.intersect1d(footprints[a], footprints[b])
+                assert overlap.size == 0, (
+                    f"color {color}: blocks {a} and {b} share mesh points")
+
+
+def test_even_block_count_per_dim():
+    for K, p in ((32, 4), (48, 6), (40, 4), (36, 6)):
+        coloring = IndependentSetColoring(K, p)
+        nb = coloring.blocks_per_dim
+        assert nb == 1 or nb % 2 == 0
+        # blocks at least p wide
+        assert np.all(np.diff(coloring.block_edges) >= p)
+
+
+def test_tiny_mesh_single_color():
+    coloring = IndependentSetColoring(8, 6)
+    assert coloring.n_colors == 1
+    box = Box(4.0)
+    r = np.random.default_rng(2).uniform(0, 4.0, size=(10, 3))
+    spreader = ColoredSpreader(r, box, 8, 6)
+    interp = InterpolationMatrix(r, box, 8, 6)
+    f = np.ones(10)
+    np.testing.assert_allclose(spreader.spread(f), interp.spread(f),
+                               atol=1e-13)
+
+
+def test_rejects_mesh_smaller_than_order():
+    with pytest.raises(ConfigurationError):
+        IndependentSetColoring(4, 6)

@@ -1,0 +1,53 @@
+"""Tests for the time-dependent diffusion curve."""
+
+import numpy as np
+import pytest
+
+from repro import FluidParams, Trajectory
+from repro.analysis.dynamics import diffusion_vs_lag
+from repro.errors import ConfigurationError
+
+
+def _brownian_trajectory(D=0.8, frames=300, n=100, dt=0.01, seed=0):
+    rng = np.random.default_rng(seed)
+    steps = rng.normal(0, np.sqrt(2 * D * dt), size=(frames, n, 3))
+    return Trajectory(times=np.arange(frames) * dt,
+                      positions=np.cumsum(steps, axis=0),
+                      box_length=50.0, fluid=FluidParams())
+
+
+def test_flat_for_pure_brownian_motion():
+    traj = _brownian_trajectory()
+    tau, d = diffusion_vs_lag(traj, max_lag=20)
+    assert tau.shape == d.shape == (20,)
+    np.testing.assert_allclose(d, 0.8, rtol=0.1)
+
+
+def test_default_max_lag_half_trajectory():
+    traj = _brownian_trajectory(frames=41)
+    tau, d = diffusion_vs_lag(traj)
+    assert tau.size == 20
+
+
+def test_tau_spacing():
+    traj = _brownian_trajectory(frames=50, dt=0.02)
+    tau, _ = diffusion_vs_lag(traj, max_lag=5)
+    np.testing.assert_allclose(tau, 0.02 * np.arange(1, 6))
+
+
+def test_ballistic_motion_grows_linearly():
+    # r = v t -> MSD = v^2 t^2 -> D(tau) ~ tau
+    frames = 30
+    pos = (np.arange(frames)[:, None, None]
+           * np.array([1.0, 0.0, 0.0])[None, None, :])
+    traj = Trajectory(times=np.arange(frames) * 1.0, positions=pos,
+                      box_length=10.0, fluid=FluidParams())
+    tau, d = diffusion_vs_lag(traj, max_lag=10)
+    np.testing.assert_allclose(d, tau / 6.0, rtol=1e-10)
+
+
+def test_requires_frames():
+    traj = Trajectory(times=np.array([0.0]), positions=np.zeros((1, 2, 3)),
+                      box_length=5.0, fluid=FluidParams())
+    with pytest.raises(ConfigurationError):
+        diffusion_vs_lag(traj)

@@ -1,0 +1,153 @@
+"""Tests for the force models."""
+
+import numpy as np
+import pytest
+
+from repro import Box
+from repro.core.forces import (
+    CompositeForce,
+    ConstantForce,
+    HarmonicBonds,
+    RepulsiveHarmonic,
+)
+from repro.errors import ConfigurationError
+from repro.systems import random_suspension
+
+
+def _numerical_gradient(field, r, eps=1e-6):
+    grad = np.zeros_like(r)
+    for i in range(r.shape[0]):
+        for d in range(3):
+            rp = r.copy()
+            rp[i, d] += eps
+            rm = r.copy()
+            rm[i, d] -= eps
+            grad[i, d] = (field.energy(rp) - field.energy(rm)) / (2 * eps)
+    return grad
+
+
+class TestRepulsiveHarmonic:
+    def test_zero_beyond_contact(self):
+        box = Box(20.0)
+        field = RepulsiveHarmonic(box)
+        r = np.array([[5.0, 5.0, 5.0], [9.0, 5.0, 5.0]])  # dist 4 > 2a
+        np.testing.assert_allclose(field.forces(r), 0.0)
+        assert field.energy(r) == 0.0
+
+    def test_overlapping_pair_repels(self):
+        box = Box(20.0)
+        field = RepulsiveHarmonic(box)
+        r = np.array([[5.0, 5.0, 5.0], [6.5, 5.0, 5.0]])  # dist 1.5 < 2a
+        f = field.forces(r)
+        assert f[0, 0] < 0          # particle 0 pushed in -x
+        assert f[1, 0] > 0          # particle 1 pushed in +x
+        np.testing.assert_allclose(f[0], -f[1])   # Newton's third law
+
+    def test_paper_force_magnitude(self):
+        # |f| = 125 |r - 2a| at r = 1.5, a = 1 -> 62.5
+        box = Box(20.0)
+        field = RepulsiveHarmonic(box)
+        r = np.array([[5.0, 5.0, 5.0], [6.5, 5.0, 5.0]])
+        f = field.forces(r)
+        assert np.linalg.norm(f[0]) == pytest.approx(125.0 * 0.5)
+
+    def test_force_is_negative_energy_gradient(self):
+        box = Box(12.0)
+        field = RepulsiveHarmonic(box)
+        rng = np.random.default_rng(3)
+        r = rng.uniform(0, box.length, size=(8, 3))  # some overlaps likely
+        # ensure at least one overlap
+        r[1] = r[0] + np.array([1.4, 0.3, 0.0])
+        forces = field.forces(r)
+        grad = _numerical_gradient(field, r)
+        np.testing.assert_allclose(forces, -grad, atol=1e-5)
+
+    def test_total_force_zero(self):
+        box = Box(10.0)
+        field = RepulsiveHarmonic(box)
+        rng = np.random.default_rng(4)
+        r = rng.uniform(0, box.length, size=(20, 3))
+        np.testing.assert_allclose(field.forces(r).sum(axis=0), 0.0,
+                                   atol=1e-10)
+
+    def test_periodic_contact(self):
+        box = Box(10.0)
+        field = RepulsiveHarmonic(box)
+        r = np.array([[0.3, 5.0, 5.0], [9.8, 5.0, 5.0]])  # dist 0.5 via PBC
+        f = field.forces(r)
+        assert f[0, 0] > 0          # pushed away across the boundary
+        assert f[1, 0] < 0
+
+    def test_non_overlapping_suspension_force_free(self):
+        susp = random_suspension(50, 0.2, seed=0)
+        field = RepulsiveHarmonic(susp.box)
+        np.testing.assert_allclose(field.forces(susp.positions), 0.0)
+
+    def test_rejects_bad_stiffness(self):
+        with pytest.raises(ConfigurationError):
+            RepulsiveHarmonic(Box(10.0), stiffness=0.0)
+
+
+class TestHarmonicBonds:
+    def test_force_is_negative_energy_gradient(self):
+        box = Box(20.0)
+        bonds = np.array([[0, 1], [1, 2]])
+        field = HarmonicBonds(box, bonds, stiffness=10.0, rest_length=2.5)
+        r = np.array([[5.0, 5.0, 5.0], [7.8, 5.2, 5.0], [10.0, 5.5, 4.8]])
+        np.testing.assert_allclose(field.forces(r),
+                                   -_numerical_gradient(field, r), atol=1e-5)
+
+    def test_rest_length_equilibrium(self):
+        box = Box(20.0)
+        field = HarmonicBonds(box, np.array([[0, 1]]), 10.0, 3.0)
+        r = np.array([[5.0, 5.0, 5.0], [8.0, 5.0, 5.0]])
+        np.testing.assert_allclose(field.forces(r), 0.0, atol=1e-12)
+        assert field.energy(r) == pytest.approx(0.0)
+
+    def test_stretched_bond_pulls_together(self):
+        box = Box(20.0)
+        field = HarmonicBonds(box, np.array([[0, 1]]), 10.0, 2.0)
+        r = np.array([[5.0, 5.0, 5.0], [9.0, 5.0, 5.0]])  # stretched to 4
+        f = field.forces(r)
+        assert f[0, 0] > 0
+        assert f[1, 0] < 0
+
+    def test_bond_across_periodic_boundary(self):
+        box = Box(10.0)
+        field = HarmonicBonds(box, np.array([[0, 1]]), 10.0, 2.0)
+        r = np.array([[0.5, 5.0, 5.0], [9.5, 5.0, 5.0]])  # dist 1 via PBC
+        f = field.forces(r)
+        # compressed bond pushes apart: particle 0 toward +x
+        assert f[0, 0] > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HarmonicBonds(Box(5.0), np.array([[0, 1, 2]]), 1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            HarmonicBonds(Box(5.0), np.array([[0, 1]]), -1.0, 1.0)
+
+
+class TestConstantAndComposite:
+    def test_constant_force(self):
+        field = ConstantForce(np.array([0.0, 0.0, -2.0]))
+        r = np.zeros((4, 3))
+        f = field.forces(r)
+        np.testing.assert_allclose(f, [[0, 0, -2.0]] * 4)
+
+    def test_constant_force_shape_validation(self):
+        with pytest.raises(ConfigurationError):
+            ConstantForce(np.zeros(2))
+
+    def test_composite_sums(self):
+        box = Box(20.0)
+        g = ConstantForce(np.array([0.0, 0.0, -1.0]))
+        rep = RepulsiveHarmonic(box)
+        comp = CompositeForce(g, rep)
+        r = np.array([[5.0, 5.0, 5.0], [6.5, 5.0, 5.0]])
+        np.testing.assert_allclose(comp.forces(r),
+                                   g.forces(r) + rep.forces(r))
+        assert comp.energy(r) == pytest.approx(g.energy(r) + rep.energy(r))
+
+    def test_composite_requires_fields(self):
+        with pytest.raises(ConfigurationError):
+            CompositeForce()

@@ -1,0 +1,86 @@
+"""Tests for the PME influence function."""
+
+import numpy as np
+import pytest
+
+from repro import Box
+from repro.errors import ConfigurationError
+from repro.pme.influence import InfluenceFunction
+from repro.pme.mesh import Mesh
+
+
+@pytest.fixture
+def influence():
+    mesh = Mesh(Box(10.0), 16)
+    return InfluenceFunction(mesh, xi=1.0, p=6)
+
+
+def _random_spectrum(mesh, seed=0):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((3,) + mesh.rshape)
+            + 1j * rng.standard_normal((3,) + mesh.rshape))
+
+
+def test_zero_mode_removed(influence):
+    c = _random_spectrum(influence.mesh)
+    d = influence.apply(c)
+    np.testing.assert_allclose(d[:, 0, 0, 0], 0.0)
+
+
+def test_transversality(influence):
+    # output spectrum is perpendicular to k at every mode
+    mesh = influence.mesh
+    c = _random_spectrum(mesh)
+    d = influence.apply(c)
+    gx, gy, gz = mesh.k_grids()
+    dot = d[0] * gx + d[1] * gy + d[2] * gz
+    assert np.abs(dot).max() < 1e-10 * max(np.abs(d).max(), 1.0)
+
+
+def test_projector_idempotent_up_to_scalar(influence):
+    # applying twice equals applying once with the scalar squared
+    # (the projector part is idempotent)
+    c = _random_spectrum(influence.mesh, seed=1)
+    once = influence.apply(c.copy())
+    twice = influence.apply(once.copy())
+    scalar = influence.scalar
+    safe = np.where(scalar == 0.0, 1.0, scalar)
+    np.testing.assert_allclose(twice / safe, once,
+                               atol=1e-10 * np.abs(once).max())
+
+
+def test_in_place_application(influence):
+    c = _random_spectrum(influence.mesh, seed=2)
+    expected = influence.apply(c.copy())
+    out = influence.apply(c, out=c)
+    assert out is c
+    np.testing.assert_allclose(c, expected)
+
+
+def test_memory_factor_six(influence):
+    # storing the scalar instead of the 3x3 tensor saves exactly 6x
+    assert influence.tensor_memory_bytes == 6 * influence.memory_bytes
+
+
+def test_scalar_includes_volume_normalization():
+    # doubling the box at fixed K scales the stored scalar by K^3/V and
+    # the physical kernel change; just verify the 1/V factor directly
+    mesh1 = Mesh(Box(10.0), 16)
+    inf1 = InfluenceFunction(mesh1, xi=1.0, p=6)
+    mesh2 = Mesh(Box(20.0), 32)  # same spacing, 8x volume
+    inf2 = InfluenceFunction(mesh2, xi=1.0, p=6)
+    # identical k modes exist in both; compare k = (2pi/10, 0, 0) which is
+    # mode (1,0,0) in box 10 and (2,0,0) in box 20
+    ratio = inf2.scalar[2, 0, 0] / inf1.scalar[1, 0, 0]
+    # scalar includes K^3/V: (32^3/20^3) / (16^3/10^3) = 1
+    assert ratio == pytest.approx(1.0, rel=1e-9)
+
+
+def test_shape_validation(influence):
+    with pytest.raises(ConfigurationError):
+        influence.apply(np.zeros((3, 4, 4, 3), dtype=complex))
+
+
+def test_rejects_bad_xi():
+    with pytest.raises(ConfigurationError):
+        InfluenceFunction(Mesh(Box(5.0), 8), xi=0.0, p=4)

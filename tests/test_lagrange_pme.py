@@ -1,0 +1,113 @@
+"""Tests for Lagrangian-interpolation (original) PME."""
+
+import numpy as np
+import pytest
+
+from repro import Box, PMEOperator, PMEParams
+from repro.errors import ConfigurationError
+from repro.pme.lagrange import lagrange_weights, lagrange_window_offsets
+from repro.pme.spread import InterpolationMatrix
+from repro.rpy.ewald import EwaldSummation
+
+
+class TestWeights:
+    @pytest.mark.parametrize("p", [2, 4, 6])
+    def test_partition_of_unity(self, p):
+        w = lagrange_weights(np.linspace(0, 1, 17, endpoint=False), p)
+        np.testing.assert_allclose(w.sum(axis=1), 1.0, atol=1e-12)
+
+    @pytest.mark.parametrize("p", [2, 4, 6])
+    def test_exact_at_nodes(self, p):
+        # at frac = 0 the weight is 1 on the node at offset 0
+        w = lagrange_weights(np.array([0.0]), p)[0]
+        offsets = lagrange_window_offsets(p)
+        np.testing.assert_allclose(w[offsets == 0], 1.0, atol=1e-12)
+        np.testing.assert_allclose(w[offsets != 0], 0.0, atol=1e-12)
+
+    def test_reproduces_polynomials(self):
+        # order-p Lagrange interpolation is exact for degree < p
+        p = 4
+        offsets = lagrange_window_offsets(p).astype(float)
+        frac = np.array([0.3, 0.77])
+        w = lagrange_weights(frac, p)
+        for degree in range(p):
+            exact = frac ** degree
+            interp = (w * offsets[None, :] ** degree).sum(axis=1)
+            np.testing.assert_allclose(interp, exact, atol=1e-10)
+
+    def test_window_centered(self):
+        np.testing.assert_array_equal(lagrange_window_offsets(4),
+                                      [-1, 0, 1, 2])
+        np.testing.assert_array_equal(lagrange_window_offsets(6),
+                                      [-2, -1, 0, 1, 2, 3])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            lagrange_weights(np.array([0.5]), 1)
+        with pytest.raises(ConfigurationError):
+            lagrange_weights(np.ones((2, 2)), 4)
+
+
+class TestLagrangePME:
+    @pytest.fixture(scope="class")
+    def system(self):
+        box = Box.for_volume_fraction(40, 0.2)
+        rng = np.random.default_rng(11)
+        r = rng.uniform(0, box.length, size=(40, 3))
+        ref = EwaldSummation(box, tol=1e-12).matrix(r)
+        return box, r, ref
+
+    def test_interpolation_matrix_kind(self, system):
+        box, r, _ = system
+        interp = InterpolationMatrix(r, box, K=32, p=4, kind="lagrange")
+        assert interp.kind == "lagrange"
+        row_sums = np.asarray(interp.matrix.sum(axis=1)).ravel()
+        np.testing.assert_allclose(row_sums, 1.0, atol=1e-12)
+
+    def test_operator_accuracy(self, system):
+        box, r, ref = system
+        params = PMEParams(xi=1.0, r_max=4.0, K=48, p=6,
+                           interpolation="lagrange")
+        op = PMEOperator(r, box, params)
+        f = np.random.default_rng(0).standard_normal(3 * r.shape[0])
+        u = op.apply(f)
+        err = np.linalg.norm(u - ref @ f) / np.linalg.norm(ref @ f)
+        assert err < 2e-2    # works, but coarser than SPME
+
+    def test_spme_more_accurate_than_lagrange(self, system):
+        # the paper's explicit claim (Section III.A)
+        box, r, ref = system
+        f = np.random.default_rng(1).standard_normal(3 * r.shape[0])
+        errs = {}
+        for kind in ("bspline", "lagrange"):
+            op = PMEOperator(r, box, PMEParams(xi=1.0, r_max=4.0, K=48, p=6,
+                                               interpolation=kind))
+            u = op.apply(f)
+            errs[kind] = np.linalg.norm(u - ref @ f) / np.linalg.norm(ref @ f)
+        assert errs["bspline"] < 0.2 * errs["lagrange"]
+
+    def test_operator_symmetric(self, system):
+        box, r, _ = system
+        op = PMEOperator(r, box, PMEParams(xi=1.0, r_max=4.0, K=32, p=4,
+                                           interpolation="lagrange"))
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(3 * r.shape[0])
+        y = rng.standard_normal(3 * r.shape[0])
+        assert np.dot(y, op.apply(x)) == pytest.approx(
+            np.dot(x, op.apply(y)), rel=1e-8)
+
+    def test_on_the_fly_matches_stored(self, system):
+        box, r, _ = system
+        params = PMEParams(xi=1.0, r_max=4.0, K=32, p=4,
+                           interpolation="lagrange")
+        f = np.random.default_rng(3).standard_normal(3 * r.shape[0])
+        u_stored = PMEOperator(r, box, params, store_p=True).apply(f)
+        u_fly = PMEOperator(r, box, params, store_p=False).apply(f)
+        np.testing.assert_allclose(u_fly, u_stored, rtol=1e-10, atol=1e-13)
+
+    def test_unknown_kind_rejected(self, system):
+        box, r, _ = system
+        with pytest.raises(ConfigurationError):
+            PMEParams(xi=1.0, r_max=4.0, K=32, p=4, interpolation="sinc")
+        with pytest.raises(ConfigurationError):
+            InterpolationMatrix(r, box, K=32, p=4, kind="sinc")

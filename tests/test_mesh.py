@@ -1,0 +1,60 @@
+"""Tests for the PME mesh."""
+
+import numpy as np
+import pytest
+
+from repro import Box
+from repro.errors import ConfigurationError
+from repro.pme.mesh import Mesh
+
+
+def test_spacing_and_counts():
+    mesh = Mesh(Box(10.0), 32)
+    assert mesh.spacing == pytest.approx(10.0 / 32)
+    assert mesh.n_points == 32 ** 3
+    assert mesh.shape == (32, 32, 32)
+    assert mesh.rshape == (32, 32, 17)
+
+
+def test_nyquist():
+    mesh = Mesh(Box(8.0), 16)
+    assert mesh.nyquist == pytest.approx(np.pi * 16 / 8.0)
+
+
+def test_wavenumbers_signed_layout():
+    mesh = Mesh(Box(2 * np.pi), 8)   # L = 2 pi -> k = signed mode number
+    kx, ky, kz = mesh.wavenumbers()
+    np.testing.assert_allclose(kx, [0, 1, 2, 3, -4, -3, -2, -1])
+    np.testing.assert_allclose(kz, [0, 1, 2, 3, 4])
+
+
+def test_k2_grid_consistency():
+    mesh = Mesh(Box(5.0), 8)
+    k2 = mesh.k2_grid()
+    assert k2.shape == mesh.rshape
+    assert k2[0, 0, 0] == 0.0
+    kx, _, _ = mesh.wavenumbers()
+    assert k2[1, 0, 0] == pytest.approx(kx[1] ** 2)
+
+
+def test_hermitian_weight_counts_all_modes():
+    # sum of weights = K^3 (total number of modes in the full spectrum)
+    for K in (8, 9, 16):
+        mesh = Mesh(Box(3.0), K)
+        assert mesh.hermitian_weight().sum() == pytest.approx(K ** 3)
+
+
+def test_parseval_with_hermitian_weight():
+    # |x|^2 == (1/K^3) sum_k w_k |X_k|^2 for real x under rfftn
+    rng = np.random.default_rng(0)
+    mesh = Mesh(Box(1.0), 12)
+    x = rng.standard_normal(mesh.shape)
+    spec = np.fft.rfftn(x)
+    lhs = np.sum(x * x)
+    rhs = np.sum(mesh.hermitian_weight() * np.abs(spec) ** 2) / mesh.n_points
+    assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+def test_rejects_tiny_mesh():
+    with pytest.raises(ConfigurationError):
+        Mesh(Box(1.0), 1)

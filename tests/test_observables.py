@@ -1,0 +1,87 @@
+"""Tests for run-time monitors."""
+
+import numpy as np
+import pytest
+
+from repro import Box, RepulsiveHarmonic
+from repro.core.integrators import MatrixFreeBD
+from repro.core.observables import (
+    EnergyMonitor,
+    MinSeparationMonitor,
+    Monitor,
+    MSDMonitor,
+    compose,
+)
+from repro.errors import ConfigurationError
+from repro.systems import random_suspension
+
+
+@pytest.fixture(scope="module")
+def run_setup():
+    susp = random_suspension(25, 0.15, seed=12)
+    bd = MatrixFreeBD(box=susp.box, force_field=None, dt=1e-3,
+                      lambda_rpy=5, seed=0, target_ep=1e-2)
+    return susp, bd
+
+
+def test_interval_sampling(run_setup):
+    susp, bd = run_setup
+    mon = MSDMonitor(reference=susp.positions, interval=3)
+    bd.run(susp.positions, 10, callback=mon)
+    assert mon.steps == [3, 6, 9]
+
+
+def test_msd_monitor_grows(run_setup):
+    susp, bd = run_setup
+    mon = MSDMonitor(reference=susp.positions, interval=1)
+    bd.run(susp.positions, 12, callback=mon)
+    steps, values = mon.series()
+    assert values[0] > 0
+    # Brownian MSD grows roughly linearly: the last value well above the first
+    assert values[-1] > 3 * values[0]
+
+
+def test_min_separation_monitor(run_setup):
+    susp, bd = run_setup
+    mon = MinSeparationMonitor(susp.box, interval=2)
+    bd.run(susp.positions, 6, callback=mon)
+    _, values = mon.series()
+    assert np.all(values > 0)
+    assert np.all(np.isfinite(values))
+
+
+def test_min_separation_single_particle():
+    box = Box(10.0)
+    mon = MinSeparationMonitor(box)
+    mon(1, np.array([[5.0, 5.0, 5.0]]), np.array([[5.0, 5.0, 5.0]]))
+    assert mon.values == [float("inf")]
+
+
+def test_energy_monitor(run_setup):
+    susp, bd = run_setup
+    field = RepulsiveHarmonic(susp.box)
+    mon = EnergyMonitor(field, interval=1)
+    bd.run(susp.positions, 4, callback=mon)
+    # non-overlapping suspension: energies stay ~0 over a short run
+    assert all(v >= 0 for v in mon.values)
+
+
+def test_compose_runs_all(run_setup):
+    susp, bd = run_setup
+    m1 = MSDMonitor(reference=susp.positions, interval=1)
+    m2 = MinSeparationMonitor(susp.box, interval=2)
+    order = []
+    bd.run(susp.positions, 4,
+           callback=compose(m1, m2, lambda s, w, u: order.append(s)))
+    assert len(m1.values) == 4
+    assert len(m2.values) == 2
+    assert order == [1, 2, 3, 4]
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        Monitor(interval=0)
+    with pytest.raises(ConfigurationError):
+        compose()
+    with pytest.raises(NotImplementedError):
+        Monitor().sample(None, None)

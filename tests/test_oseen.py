@@ -1,0 +1,119 @@
+"""Tests for the Oseen (Stokeslet) kernel variant.
+
+The related-work kernel the paper contrasts with its RPY-PME
+(Section I: Stokesian PME codes "use the PME summation of the Stokeslet
+or Oseen tensor, rather than the Rotne-Prager-Yamakawa tensor").
+"""
+
+import numpy as np
+import pytest
+
+from repro import Box, PMEOperator, PMEParams
+from repro.errors import ConfigurationError
+from repro.rpy import beenakker
+from repro.rpy.ewald import EwaldSummation
+
+
+@pytest.fixture(scope="module")
+def system():
+    box = Box(18.0)
+    rng = np.random.default_rng(44)
+    return box, rng.uniform(0, box.length, size=(6, 3))
+
+
+def test_alpha_invariance_oseen(system):
+    box, r = system
+    mats = [EwaldSummation(box, xi=xi, tol=1e-10, kernel="oseen").matrix(r)
+            for xi in (0.3, 0.5, 0.8)]
+    scale = np.abs(mats[0]).max()
+    for m in mats[1:]:
+        np.testing.assert_allclose(m, mats[0], atol=5e-7 * scale)
+
+
+def test_oseen_differs_from_rpy(system):
+    box, r = system
+    m_rpy = EwaldSummation(box, tol=1e-8).matrix(r)
+    m_oseen = EwaldSummation(box, tol=1e-8, kernel="oseen").matrix(r)
+    assert np.abs(m_rpy - m_oseen).max() > 1e-5
+
+
+def test_kernels_agree_far_field():
+    # the a^3 terms decay as 1/r^3 vs the Stokeslet's 1/r: at large
+    # separation in a large box the two kernels coincide
+    box = Box(300.0)
+    r = np.array([[0.0, 0.0, 0.0], [60.0, 0.0, 0.0]])
+    pair_rpy = EwaldSummation(box, tol=1e-10).matrix(r)[0:3, 3:6]
+    pair_oseen = EwaldSummation(box, tol=1e-10,
+                                kernel="oseen").matrix(r)[0:3, 3:6]
+    np.testing.assert_allclose(pair_oseen, pair_rpy, atol=1e-5)
+
+
+def test_oseen_self_mobility_differs():
+    # same leading Hasimoto correction, no (xi a)^3 self term
+    assert beenakker.self_mobility_scalar(0.5, kernel="oseen") == \
+        pytest.approx(1.0 - 6 * 0.5 / np.sqrt(np.pi))
+
+
+def test_oseen_real_space_is_a3_free():
+    # the Oseen real-space function is the a^3 -> 0 limit of Beenakker's
+    r = np.array([3.0, 5.0])
+    f_o, g_o = beenakker.real_space_coefficients(r, 0.7, kernel="oseen")
+    f_r, g_r = beenakker.real_space_coefficients(r, 0.7, kernel="rpy")
+    assert np.all(f_o != f_r)
+    # reconstruct: rpy = oseen + (a^3 terms); verify via the known
+    # closed forms at one point
+    import math
+    from scipy.special import erfc
+    xi, rr = 0.7, 3.0
+    gauss = math.exp(-(xi * rr) ** 2) / math.sqrt(math.pi)
+    expected_f_oseen = (erfc(xi * rr) * 0.75 / rr
+                        + gauss * (3 * xi ** 3 * rr ** 2 - 4.5 * xi))
+    assert f_o[0] == pytest.approx(expected_f_oseen, rel=1e-12)
+
+
+def test_oseen_not_positive_definite_at_close_range():
+    # the classical failure RPY fixes: the Oseen mobility loses positive
+    # definiteness for close particles, RPY never does
+    box = Box(20.0)
+    r = np.array([[5.0, 5.0, 5.0], [6.2, 5.0, 5.0]])   # r = 1.2 < 2a
+    m_oseen = EwaldSummation(box, tol=1e-8, kernel="oseen").matrix(r)
+    m_rpy = EwaldSummation(box, tol=1e-8).matrix(r)
+    assert np.linalg.eigvalsh(m_oseen).min() < 0
+    assert np.linalg.eigvalsh(m_rpy).min() > 0
+
+
+def test_oseen_pme_matches_dense():
+    rng = np.random.default_rng(9)
+    n = 40
+    box = Box.for_volume_fraction(n, 0.2)
+    r = rng.uniform(0, box.length, size=(n, 3))
+    ref = EwaldSummation(box, tol=1e-12, kernel="oseen").matrix(r)
+    op = PMEOperator(r, box, PMEParams(xi=1.0, r_max=4.0, K=48, p=6,
+                                       kernel="oseen"))
+    f = rng.standard_normal(3 * n)
+    u = op.apply(f)
+    err = np.linalg.norm(u - ref @ f) / np.linalg.norm(ref @ f)
+    assert err < 1e-3
+
+
+def test_oseen_pme_operator_symmetric():
+    rng = np.random.default_rng(10)
+    n = 30
+    box = Box.for_volume_fraction(n, 0.2)
+    r = rng.uniform(0, box.length, size=(n, 3))
+    op = PMEOperator(r, box, PMEParams(xi=1.0, r_max=4.0, K=32, p=4,
+                                       kernel="oseen"))
+    x = rng.standard_normal(3 * n)
+    y = rng.standard_normal(3 * n)
+    assert np.dot(y, op.apply(x)) == pytest.approx(np.dot(x, op.apply(y)),
+                                                   rel=1e-8)
+
+
+def test_unknown_kernel_rejected(system):
+    box, _ = system
+    with pytest.raises(ConfigurationError):
+        EwaldSummation(box, kernel="stokeslet-doublet")
+    with pytest.raises(ConfigurationError):
+        PMEParams(xi=1.0, r_max=4.0, K=32, kernel="magic")
+    with pytest.raises(ValueError):
+        beenakker.reciprocal_scalar(np.array([1.0]), 1.0, kernel="magic")

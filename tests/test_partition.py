@@ -1,0 +1,64 @@
+"""Tests for work-partitioning helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.parallel.partition import balance_by_cost, row_blocks
+
+
+class TestRowBlocks:
+    def test_covers_all_rows(self):
+        ranges = row_blocks(100, 7)
+        covered = [i for lo, hi in ranges for i in range(lo, hi)]
+        assert covered == list(range(100))
+
+    def test_balanced(self):
+        ranges = row_blocks(100, 7)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_workers_than_rows(self):
+        ranges = row_blocks(3, 5)
+        sizes = [hi - lo for lo, hi in ranges]
+        assert sum(sizes) == 3
+        assert sizes.count(0) == 2
+
+    def test_zero_rows(self):
+        assert row_blocks(0, 3) == [(0, 0), (0, 0), (0, 0)]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            row_blocks(10, 0)
+        with pytest.raises(ConfigurationError):
+            row_blocks(-1, 2)
+
+
+class TestBalanceByCost:
+    def test_all_tasks_assigned_once(self):
+        costs = [5.0, 3.0, 8.0, 1.0, 2.0]
+        assignment = balance_by_cost(costs, 2)
+        flat = sorted(t for worker in assignment for t in worker)
+        assert flat == list(range(5))
+
+    def test_near_optimal_balance(self):
+        # LPT is a 4/3-approximation; on this instance (optimum 12, with
+        # {6,6} vs {4,4,4}) it yields 14 = {6,4,4}, within the bound
+        costs = np.array([4.0, 4.0, 4.0, 6.0, 6.0])
+        assignment = balance_by_cost(costs, 2)
+        loads = [sum(costs[t] for t in w) for w in assignment]
+        assert max(loads) <= (4.0 / 3.0) * 12.0
+
+    def test_single_worker(self):
+        assignment = balance_by_cost([1.0, 2.0], 1)
+        assert sorted(assignment[0]) == [0, 1]
+
+    def test_uniform_tasks_spread_evenly(self):
+        assignment = balance_by_cost([1.0] * 12, 4)
+        assert all(len(w) == 3 for w in assignment)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            balance_by_cost([1.0], 0)
+        with pytest.raises(ConfigurationError):
+            balance_by_cost([-1.0], 2)

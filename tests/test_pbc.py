@@ -1,0 +1,81 @@
+"""Tests for repro.utils.pbc."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.utils.pbc import (
+    fractional_coordinates,
+    minimum_image,
+    wrap_positions,
+)
+
+finite_coords = arrays(np.float64, (7, 3),
+                       elements=st.floats(-1e6, 1e6, allow_nan=False))
+
+
+def test_minimum_image_inside_box_unchanged():
+    dr = np.array([[1.0, -2.0, 3.0]])
+    out = minimum_image(dr, 10.0)
+    np.testing.assert_allclose(out, dr)
+
+
+def test_minimum_image_folds_large_displacement():
+    dr = np.array([[9.0, 0.0, 0.0]])
+    out = minimum_image(dr, 10.0)
+    np.testing.assert_allclose(out, [[-1.0, 0.0, 0.0]])
+
+
+def test_minimum_image_negative():
+    dr = np.array([[-7.0, 0.0, 0.0]])
+    np.testing.assert_allclose(minimum_image(dr, 10.0), [[3.0, 0.0, 0.0]])
+
+
+@given(finite_coords)
+@settings(max_examples=50, deadline=None)
+def test_minimum_image_in_half_open_interval(dr):
+    out = minimum_image(dr, 12.5)
+    assert np.all(out >= -12.5 / 2 - 1e-9)
+    assert np.all(out <= 12.5 / 2 + 1e-9)
+
+
+@given(finite_coords)
+@settings(max_examples=50, deadline=None)
+def test_minimum_image_idempotent(dr):
+    once = minimum_image(dr, 9.0)
+    twice = minimum_image(once, 9.0)
+    np.testing.assert_allclose(once, twice, atol=1e-9)
+
+
+@given(finite_coords)
+@settings(max_examples=50, deadline=None)
+def test_wrap_positions_in_box(r):
+    out = wrap_positions(r, 7.25)
+    assert np.all(out >= 0.0)
+    assert np.all(out < 7.25)
+
+
+def test_wrap_positions_exact_multiple():
+    out = wrap_positions(np.array([[10.0, 20.0, -10.0]]), 10.0)
+    np.testing.assert_allclose(out, 0.0, atol=1e-12)
+
+
+def test_wrap_preserves_relative_position():
+    r = np.array([[13.7, -4.2, 25.1]])
+    out = wrap_positions(r, 10.0)
+    np.testing.assert_allclose(minimum_image(out - r, 10.0), 0.0, atol=1e-9)
+
+
+def test_fractional_coordinates_range():
+    r = np.array([[0.0, 5.0, 9.999999]])
+    u = fractional_coordinates(r, 10.0, 32)
+    assert np.all(u >= 0)
+    assert np.all(u < 32)
+
+
+def test_fractional_coordinates_scaling():
+    r = np.array([[2.5, 5.0, 7.5]])
+    u = fractional_coordinates(r, 10.0, 64)
+    np.testing.assert_allclose(u, [[16.0, 32.0, 48.0]])

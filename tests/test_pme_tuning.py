@@ -1,0 +1,128 @@
+"""Tests for PME parameter selection (the Table III procedure)."""
+
+import numpy as np
+import pytest
+
+from repro import Box, PMEOperator, pme_relative_error, tune_parameters
+from repro.errors import ConfigurationError
+from repro.pme.tuning import (
+    estimate_errors,
+    fft_friendly_size,
+    spline_error_estimate,
+    spline_resolution_bound,
+)
+
+
+class TestFFTFriendly:
+    def test_five_smooth(self):
+        for m in (7, 13, 33, 100, 121):
+            k = fft_friendly_size(m)
+            assert k >= m
+            assert k % 2 == 0
+            reduced = k
+            for f in (2, 3, 5):
+                while reduced % f == 0:
+                    reduced //= f
+            assert reduced == 1
+
+    def test_already_friendly(self):
+        assert fft_friendly_size(64) == 64
+        assert fft_friendly_size(90) == 90
+
+
+class TestSplineCalibration:
+    def test_monotone_in_resolution(self):
+        errs = [spline_error_estimate(6, xih, 2.0)
+                for xih in (0.1, 0.2, 0.4, 0.8)]
+        assert errs == sorted(errs)
+
+    def test_higher_order_more_accurate(self):
+        assert spline_error_estimate(8, 0.3, 2.0) < \
+            spline_error_estimate(6, 0.3, 2.0) < \
+            spline_error_estimate(4, 0.3, 2.0)
+
+    def test_xia_cubed_scaling(self):
+        e1 = spline_error_estimate(6, 0.3, 1.0)
+        e2 = spline_error_estimate(6, 0.3, 2.0)
+        assert e2 / e1 == pytest.approx(8.0, rel=1e-9)
+
+    def test_bound_inverts_estimate(self):
+        for budget in (1e-2, 1e-4, 1e-6):
+            xih = spline_resolution_bound(6, budget, 2.0)
+            if 0.02 < xih < 1.0:
+                assert spline_error_estimate(6, xih, 2.0) == pytest.approx(
+                    budget, rel=1e-6)
+
+    def test_uncalibrated_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            spline_resolution_bound(3, 1e-3, 2.0)
+
+
+class TestTuner:
+    @pytest.mark.parametrize("n,target", [(40, 1e-3), (80, 1e-2)])
+    def test_meets_target(self, n, target):
+        box = Box.for_volume_fraction(n, 0.2)
+        params = tune_parameters(n, box, target_ep=target)
+        rng = np.random.default_rng(n)
+        r = rng.uniform(0, box.length, size=(n, 3))
+        op = PMEOperator(r, box, params)
+        assert pme_relative_error(op, n_probe=2) < target
+
+    def test_tighter_target_bigger_mesh(self):
+        box = Box.for_volume_fraction(100, 0.2)
+        loose = tune_parameters(100, box, target_ep=1e-2)
+        tight = tune_parameters(100, box, target_ep=1e-5)
+        assert tight.K > loose.K
+
+    def test_rmax_within_half_box(self):
+        box = Box.for_volume_fraction(30, 0.3)
+        params = tune_parameters(30, box)
+        assert params.r_max <= box.length / 2
+
+    def test_estimates_within_budget(self):
+        box = Box.for_volume_fraction(200, 0.2)
+        target = 1e-3
+        params = tune_parameters(200, box, target_ep=target)
+        est = estimate_errors(params, box, n=200)
+        assert est["real"] <= target
+        assert est["recip_truncation"] <= target
+        assert est["spline"] <= target
+
+    def test_invalid_target(self):
+        box = Box(10.0)
+        with pytest.raises(ConfigurationError):
+            tune_parameters(10, box, target_ep=0.0)
+
+    def test_spline_order_respected(self):
+        box = Box.for_volume_fraction(100, 0.2)
+        p4 = tune_parameters(100, box, p=4)
+        p6 = tune_parameters(100, box, p=6)
+        assert p4.p == 4 and p6.p == 6
+        # lower order needs a finer mesh at the same target
+        assert p4.K >= p6.K
+
+    def test_mesh_scales_with_system(self):
+        params_small = tune_parameters(100, Box.for_volume_fraction(100, 0.2))
+        params_large = tune_parameters(800, Box.for_volume_fraction(800, 0.2))
+        assert params_large.K > params_small.K
+
+    def test_kernel_and_interpolation_forwarded(self):
+        box = Box.for_volume_fraction(50, 0.2)
+        params = tune_parameters(50, box, kernel="oseen",
+                                 interpolation="lagrange")
+        assert params.kernel == "oseen"
+        assert params.interpolation == "lagrange"
+
+    def test_tuned_oseen_meets_target(self):
+        import numpy as np
+        from repro import PMEOperator, pme_relative_error
+        from repro.rpy.ewald import EwaldSummation
+        n, target = 40, 1e-3
+        box = Box.for_volume_fraction(n, 0.2)
+        params = tune_parameters(n, box, target_ep=target, kernel="oseen")
+        rng = np.random.default_rng(n)
+        r = rng.uniform(0, box.length, size=(n, 3))
+        op = PMEOperator(r, box, params)
+        ref = EwaldSummation(box, tol=1e-12, kernel="oseen").matrix(r)
+        assert pme_relative_error(op, n_probe=2,
+                                  reference=lambda f: ref @ f) < target

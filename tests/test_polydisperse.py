@@ -1,0 +1,116 @@
+"""Tests for the polydisperse (unequal-radii) RPY mobility."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rpy.polydisperse import (
+    mobility_matrix_polydisperse,
+    rpy_polydisperse_pair_tensors,
+)
+from repro.rpy.tensor import mobility_matrix_free
+from repro.units import REDUCED
+
+
+def test_reduces_to_monodisperse():
+    rng = np.random.default_rng(0)
+    r = rng.uniform(0, 30, size=(10, 3))
+    mono = mobility_matrix_free(r, REDUCED)
+    poly = mobility_matrix_polydisperse(r, np.ones(10), REDUCED.viscosity)
+    np.testing.assert_allclose(poly, mono, rtol=1e-12)
+
+
+def test_reduces_to_monodisperse_with_overlaps():
+    rng = np.random.default_rng(1)
+    r = rng.uniform(0, 5, size=(8, 3))       # guaranteed overlaps
+    mono = mobility_matrix_free(r, REDUCED)
+    poly = mobility_matrix_polydisperse(r, np.ones(8), REDUCED.viscosity)
+    np.testing.assert_allclose(poly, mono, rtol=1e-12)
+
+
+def test_self_mobility_scales_with_radius():
+    r = np.array([[0.0, 0.0, 0.0], [50.0, 0.0, 0.0]])
+    m = mobility_matrix_polydisperse(r, np.array([1.0, 2.5]),
+                                     REDUCED.viscosity)
+    assert m[0, 0] == pytest.approx(1.0)           # mu0(a=1) = 1 reduced
+    assert m[3, 3] == pytest.approx(1.0 / 2.5)
+
+
+def test_far_field_formula():
+    # explicit check of the unequal-radii Rotne-Prager expression
+    rij = np.array([[6.0, 0.0, 0.0]])
+    ai, aj = np.array([1.0]), np.array([2.0])
+    eta = REDUCED.viscosity
+    t = rpy_polydisperse_pair_tensors(rij, ai, aj, eta)[0]
+    r = 6.0
+    a2 = 1.0 + 4.0
+    pre = 1.0 / (8.0 * np.pi * eta * r)
+    f = pre * (1.0 + a2 / (3 * r * r))
+    g = pre * (1.0 - a2 / (r * r))
+    np.testing.assert_allclose(np.diag(t), [f + g, f, f], rtol=1e-12)
+
+
+def test_branch_continuity_at_touching():
+    eta = REDUCED.viscosity
+    ai, aj = np.array([1.0]), np.array([1.7])
+    touch = 2.7
+    eps = 1e-9
+    t_out = rpy_polydisperse_pair_tensors(
+        np.array([[touch + eps, 0, 0]]), ai, aj, eta)[0]
+    t_in = rpy_polydisperse_pair_tensors(
+        np.array([[touch - eps, 0, 0]]), ai, aj, eta)[0]
+    np.testing.assert_allclose(t_in, t_out, atol=1e-6)
+
+
+def test_branch_continuity_at_containment():
+    eta = REDUCED.viscosity
+    ai, aj = np.array([1.0]), np.array([3.0])
+    boundary = 2.0            # |a_i - a_j|
+    eps = 1e-9
+    t_out = rpy_polydisperse_pair_tensors(
+        np.array([[boundary + eps, 0, 0]]), ai, aj, eta)[0]
+    t_in = rpy_polydisperse_pair_tensors(
+        np.array([[boundary - eps, 0, 0]]), ai, aj, eta)[0]
+    np.testing.assert_allclose(t_in, t_out, atol=1e-6)
+
+
+def test_contained_sphere_moves_with_host():
+    # a small sphere fully inside a large one shares its mobility
+    eta = REDUCED.viscosity
+    t = rpy_polydisperse_pair_tensors(
+        np.array([[0.5, 0.0, 0.0]]), np.array([1.0]), np.array([4.0]), eta)[0]
+    expected = np.eye(3) / (6 * np.pi * eta * 4.0)
+    np.testing.assert_allclose(t, expected, rtol=1e-12)
+
+
+def test_symmetry_under_radius_exchange():
+    eta = REDUCED.viscosity
+    rij = np.array([[3.0, 1.0, -0.5]])
+    t_ab = rpy_polydisperse_pair_tensors(rij, np.array([1.0]),
+                                         np.array([2.0]), eta)[0]
+    t_ba = rpy_polydisperse_pair_tensors(-rij, np.array([2.0]),
+                                         np.array([1.0]), eta)[0]
+    np.testing.assert_allclose(t_ab, t_ba.T, rtol=1e-12)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_positive_definite_random_polydisperse(seed):
+    rng = np.random.default_rng(seed)
+    n = 12
+    r = rng.uniform(0, 12, size=(n, 3))       # overlaps likely
+    radii = rng.uniform(0.5, 2.5, size=n)
+    m = mobility_matrix_polydisperse(r, radii, REDUCED.viscosity)
+    np.testing.assert_allclose(m, m.T, rtol=1e-12)
+    assert np.linalg.eigvalsh(m).min() > 0
+
+
+def test_validation():
+    r = np.zeros((2, 3))
+    r[1, 0] = 5.0
+    with pytest.raises(ConfigurationError):
+        mobility_matrix_polydisperse(r, np.array([1.0]))
+    with pytest.raises(ConfigurationError):
+        mobility_matrix_polydisperse(r, np.array([1.0, -1.0]))
+    with pytest.raises(ConfigurationError):
+        rpy_polydisperse_pair_tensors(np.zeros((1, 3)), np.array([1.0]),
+                                      np.array([1.0]))

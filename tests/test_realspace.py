@@ -1,0 +1,112 @@
+"""Tests for the real-space BCSR Ewald operator."""
+
+import numpy as np
+import pytest
+
+from repro import Box
+from repro.errors import ConfigurationError
+from repro.neighbor.pairs import brute_force_pairs
+from repro.pme.realspace import RealSpaceOperator
+from repro.rpy import beenakker
+
+
+@pytest.fixture
+def setup():
+    box = Box(14.0)
+    rng = np.random.default_rng(9)
+    r = rng.uniform(0, box.length, size=(30, 3))
+    return box, r
+
+
+def _dense_reference(r, box, xi, r_max):
+    """Direct dense construction of the real-space operator."""
+    n = r.shape[0]
+    out = np.zeros((3 * n, 3 * n))
+    i, j = brute_force_pairs(r, box, r_max)
+    if i.size:
+        rij, dist = box.distances(r, i, j)
+        tensors = beenakker.real_space_tensors(rij, xi)
+        for k in range(i.size):
+            out[3 * i[k]:3 * i[k] + 3, 3 * j[k]:3 * j[k] + 3] = tensors[k]
+            out[3 * j[k]:3 * j[k] + 3, 3 * i[k]:3 * i[k] + 3] = tensors[k].T
+    diag = beenakker.self_mobility_scalar(xi)
+    out[np.arange(3 * n), np.arange(3 * n)] += diag
+    return out
+
+
+def test_matches_dense_reference(setup):
+    box, r = setup
+    op = RealSpaceOperator(r, box, xi=0.8, r_max=5.0)
+    dense = _dense_reference(r, box, 0.8, 5.0)
+    f = np.random.default_rng(0).standard_normal(3 * r.shape[0])
+    np.testing.assert_allclose(op.apply(f), dense @ f, rtol=1e-10)
+
+
+def test_engines_agree(setup):
+    box, r = setup
+    f = np.random.default_rng(1).standard_normal((3 * r.shape[0], 4))
+    u_scipy = RealSpaceOperator(r, box, xi=0.8, r_max=4.0,
+                                engine="scipy").apply(f)
+    u_bcsr = RealSpaceOperator(r, box, xi=0.8, r_max=4.0,
+                               engine="bcsr").apply(f)
+    np.testing.assert_allclose(u_bcsr, u_scipy, rtol=1e-12)
+
+
+def test_neighbor_backends_agree(setup):
+    box, r = setup
+    f = np.random.default_rng(2).standard_normal(3 * r.shape[0])
+    results = [RealSpaceOperator(r, box, xi=0.8, r_max=4.0,
+                                 neighbor_backend=b).apply(f)
+               for b in ("cells", "kdtree", "brute")]
+    np.testing.assert_allclose(results[1], results[0], rtol=1e-12)
+    np.testing.assert_allclose(results[2], results[0], rtol=1e-12)
+
+
+def test_block_application_matches_columns(setup):
+    box, r = setup
+    op = RealSpaceOperator(r, box, xi=0.8, r_max=4.0)
+    f = np.random.default_rng(3).standard_normal((3 * r.shape[0], 6))
+    block = op.apply(f)
+    for c in range(6):
+        np.testing.assert_allclose(block[:, c], op.apply(f[:, c]),
+                                   rtol=1e-12)
+
+
+def test_self_term_only_for_isolated_particle():
+    box = Box(20.0)
+    r = np.array([[10.0, 10.0, 10.0]])
+    op = RealSpaceOperator(r, box, xi=0.7, r_max=5.0)
+    f = np.array([1.0, 0.0, 0.0])
+    expect = beenakker.self_mobility_scalar(0.7)
+    np.testing.assert_allclose(op.apply(f), [expect, 0.0, 0.0], rtol=1e-12)
+
+
+def test_cutoff_validation():
+    box = Box(10.0)
+    r = np.zeros((2, 3))
+    with pytest.raises(ConfigurationError):
+        RealSpaceOperator(r, box, xi=1.0, r_max=6.0)   # > L/2
+    with pytest.raises(ConfigurationError):
+        RealSpaceOperator(r, box, xi=1.0, r_max=0.0)
+    with pytest.raises(ConfigurationError):
+        RealSpaceOperator(r, box, xi=1.0, r_max=4.0, engine="cuda")
+
+
+def test_pair_count_and_memory(setup):
+    box, r = setup
+    op = RealSpaceOperator(r, box, xi=0.8, r_max=4.0)
+    i, _ = brute_force_pairs(r, box, 4.0)
+    assert op.n_pairs == i.size
+    assert op.nnz_blocks == 2 * i.size + r.shape[0]
+    assert op.memory_bytes > 0
+
+
+def test_overlap_correction_toggles(setup):
+    box = Box(10.0)
+    r = np.array([[1.0, 1.0, 1.0], [2.5, 1.0, 1.0]])  # dist 1.5 < 2a
+    f = np.array([1.0, 0, 0, 0, 0, 0])
+    with_corr = RealSpaceOperator(r, box, xi=1.0, r_max=4.0,
+                                  overlap_corrected=True).apply(f)
+    without = RealSpaceOperator(r, box, xi=1.0, r_max=4.0,
+                                overlap_corrected=False).apply(f)
+    assert not np.allclose(with_corr, without)

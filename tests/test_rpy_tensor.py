@@ -1,0 +1,119 @@
+"""Tests for the free-space RPY tensor."""
+
+import numpy as np
+import pytest
+
+from repro import FluidParams, REDUCED
+from repro.rpy.tensor import (
+    mobility_matrix_free,
+    rpy_pair_tensors,
+    rpy_scalar_coefficients,
+    rpy_self_tensor,
+)
+
+
+def test_self_tensor_is_mu0_identity():
+    np.testing.assert_allclose(rpy_self_tensor(REDUCED), np.eye(3))
+
+
+def test_far_field_formula():
+    # explicit check of M = mu0 [3a/4r (I + rr) + a^3/2r^3 (I - 3 rr)]
+    rij = np.array([[4.0, 0.0, 0.0]])
+    t = rpy_pair_tensors(rij, REDUCED)[0]
+    r = 4.0
+    expect = np.diag([
+        0.75 / r * 2 + 0.5 / r ** 3 * (1 - 3),
+        0.75 / r + 0.5 / r ** 3,
+        0.75 / r + 0.5 / r ** 3,
+    ])
+    np.testing.assert_allclose(t, expect, rtol=1e-12)
+
+
+def test_tensor_symmetric():
+    rng = np.random.default_rng(0)
+    rij = rng.standard_normal((20, 3)) * 3 + 4
+    t = rpy_pair_tensors(rij)
+    np.testing.assert_allclose(t, t.transpose(0, 2, 1), rtol=1e-12)
+
+
+def test_tensor_rotation_equivariance():
+    # M(R r) = R M(r) R^T for any rotation R
+    rng = np.random.default_rng(1)
+    rij = np.array([[3.0, 1.0, -2.0]])
+    q, _ = np.linalg.qr(rng.standard_normal((3, 3)))
+    t1 = rpy_pair_tensors(rij @ q.T)[0]
+    t0 = rpy_pair_tensors(rij)[0]
+    np.testing.assert_allclose(t1, q @ t0 @ q.T, rtol=1e-10, atol=1e-12)
+
+
+def test_continuity_at_contact():
+    f_in, g_in = rpy_scalar_coefficients(np.array([2.0 - 1e-12]), 1.0)
+    f_out, g_out = rpy_scalar_coefficients(np.array([2.0 + 1e-12]), 1.0)
+    assert f_in[0] == pytest.approx(f_out[0], abs=1e-9)
+    assert g_in[0] == pytest.approx(g_out[0], abs=1e-9)
+
+
+def test_overlap_limit_r_to_zero():
+    # regularized branch: f -> 1, g -> 0 as r -> 0 (self mobility)
+    f, g = rpy_scalar_coefficients(np.array([1e-12]), 1.0)
+    assert f[0] == pytest.approx(1.0)
+    assert g[0] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_decay_at_large_distance():
+    f, g = rpy_scalar_coefficients(np.array([1e6]), 1.0)
+    assert abs(f[0]) < 1e-5
+    assert abs(g[0]) < 1e-5
+
+
+def test_requires_nonzero_separation():
+    with pytest.raises(ValueError):
+        rpy_pair_tensors(np.zeros((1, 3)))
+
+
+def test_radius_scaling():
+    # with lengths scaled by s and radius scaled by s, mu scales by 1/s
+    rij = np.array([[5.0, 0.0, 0.0]])
+    t1 = rpy_pair_tensors(rij, FluidParams(radius=1.0))
+    t2 = rpy_pair_tensors(2.0 * rij, FluidParams(radius=2.0))
+    np.testing.assert_allclose(t2, t1 / 2.0, rtol=1e-12)
+
+
+class TestDenseFreeMatrix:
+    def test_diagonal_blocks(self):
+        rng = np.random.default_rng(2)
+        r = rng.uniform(0, 30, size=(5, 3))
+        m = mobility_matrix_free(r)
+        for i in range(5):
+            np.testing.assert_allclose(m[3 * i:3 * i + 3, 3 * i:3 * i + 3],
+                                       np.eye(3))
+
+    def test_symmetric(self):
+        rng = np.random.default_rng(3)
+        r = rng.uniform(0, 30, size=(12, 3))
+        m = mobility_matrix_free(r)
+        np.testing.assert_allclose(m, m.T, rtol=1e-12)
+
+    def test_positive_definite_nonoverlapping(self):
+        rng = np.random.default_rng(4)
+        # well-separated particles
+        r = rng.uniform(0, 50, size=(15, 3))
+        m = mobility_matrix_free(r)
+        assert np.linalg.eigvalsh(m).min() > 0
+
+    def test_positive_definite_with_overlaps(self):
+        # the regularized tensor stays SPD even for overlapping particles
+        rng = np.random.default_rng(5)
+        r = rng.uniform(0, 4.0, size=(10, 3))  # heavy overlap
+        m = mobility_matrix_free(r)
+        assert np.linalg.eigvalsh(m).min() > 0
+
+    def test_single_particle(self):
+        m = mobility_matrix_free(np.array([[0.0, 0.0, 0.0]]))
+        np.testing.assert_allclose(m, np.eye(3))
+
+    def test_pair_block_matches_pair_tensor(self):
+        r = np.array([[0.0, 0.0, 0.0], [3.0, 1.0, 2.0]])
+        m = mobility_matrix_free(r)
+        t = rpy_pair_tensors(r[0:1] - r[1:2])[0]
+        np.testing.assert_allclose(m[0:3, 3:6], t, rtol=1e-12)

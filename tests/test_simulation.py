@@ -1,0 +1,81 @@
+"""Tests for the Simulation driver and Trajectory container."""
+
+import numpy as np
+import pytest
+
+from repro import Simulation, Trajectory
+from repro.errors import ConfigurationError
+from repro.systems import random_suspension
+
+
+@pytest.fixture(scope="module")
+def suspension():
+    return random_suspension(25, 0.1, seed=10)
+
+
+def test_recording_interval(suspension):
+    sim = Simulation(suspension, dt=1e-3, lambda_rpy=4, seed=0,
+                     target_ep=1e-2)
+    traj, stats = sim.run(n_steps=12, record_interval=3)
+    assert traj.n_frames == 5                 # frame 0 + steps 3,6,9,12
+    np.testing.assert_allclose(traj.times,
+                               [0.0, 3e-3, 6e-3, 9e-3, 12e-3])
+    assert stats.n_steps == 12
+
+
+def test_first_frame_is_initial_state(suspension):
+    sim = Simulation(suspension, dt=1e-3, seed=0, target_ep=1e-2)
+    traj, _ = sim.run(n_steps=2)
+    np.testing.assert_array_equal(traj.positions[0], suspension.positions)
+
+
+def test_consecutive_runs_continue(suspension):
+    sim = Simulation(suspension, dt=1e-3, lambda_rpy=4, seed=0,
+                     target_ep=1e-2)
+    traj1, _ = sim.run(n_steps=4)
+    traj2, _ = sim.run(n_steps=4)
+    # second run starts from where the first ended (wrapped)
+    wrapped_end = suspension.box.wrap(traj1.positions[-1])
+    np.testing.assert_allclose(traj2.positions[0], wrapped_end)
+
+
+def test_ewald_algorithm_choice(suspension):
+    sim = Simulation(suspension, algorithm="ewald", dt=1e-3, seed=0)
+    traj, _ = sim.run(n_steps=2)
+    assert traj.n_frames == 3
+
+
+def test_unknown_algorithm_rejected(suspension):
+    with pytest.raises(ConfigurationError):
+        Simulation(suspension, algorithm="magic")
+
+
+def test_run_validation(suspension):
+    sim = Simulation(suspension, dt=1e-3, seed=0, target_ep=1e-2)
+    with pytest.raises(ConfigurationError):
+        sim.run(n_steps=0)
+    with pytest.raises(ConfigurationError):
+        sim.run(n_steps=5, record_interval=0)
+
+
+def test_trajectory_properties(suspension):
+    t = Trajectory(times=np.array([0.0, 0.5, 1.0]),
+                   positions=np.zeros((3, 7, 3)), box_length=5.0,
+                   fluid=suspension.fluid)
+    assert t.n_frames == 3
+    assert t.n_particles == 7
+    assert t.dt_frame == pytest.approx(0.5)
+
+
+def test_trajectory_dt_requires_frames(suspension):
+    t = Trajectory(times=np.array([0.0]), positions=np.zeros((1, 2, 3)),
+                   box_length=5.0, fluid=suspension.fluid)
+    with pytest.raises(ConfigurationError):
+        _ = t.dt_frame
+
+
+def test_force_free_option(suspension):
+    sim = Simulation(suspension, force_field=None, dt=1e-3, seed=0,
+                     target_ep=1e-2)
+    traj, _ = sim.run(n_steps=2)
+    assert traj.n_frames == 3

@@ -1,0 +1,130 @@
+"""Tests for suspension and lattice generators."""
+
+import numpy as np
+import pytest
+
+from repro import Box
+from repro.errors import ConfigurationError
+from repro.systems import (
+    bead_spring_chain,
+    fcc_positions,
+    lattice_suspension,
+    make_suspension,
+    random_suspension,
+    simple_cubic_positions,
+)
+
+
+class TestLattices:
+    def test_simple_cubic_count_and_bounds(self):
+        r = simple_cubic_positions(27, 9.0)
+        assert r.shape == (27, 3)
+        assert np.all(r >= 0) and np.all(r < 9.0)
+
+    def test_simple_cubic_partial_fill(self):
+        r = simple_cubic_positions(20, 9.0)
+        assert r.shape == (20, 3)
+        # all sites distinct
+        assert len({tuple(row) for row in np.round(r, 9)}) == 20
+
+    def test_simple_cubic_spacing(self):
+        r = simple_cubic_positions(8, 10.0)
+        dists = np.linalg.norm(r[0] - r[1:], axis=1)
+        assert dists.min() == pytest.approx(5.0)
+
+    def test_fcc_count(self):
+        r = fcc_positions(32, 10.0)
+        assert r.shape == (32, 3)
+        assert len({tuple(row) for row in np.round(r, 9)}) == 32
+
+    def test_fcc_nearest_neighbor(self):
+        # 4 sites/cell, 1 cell: nn distance = L/sqrt(2)/1 * 1/... = L*sqrt(2)/2
+        r = fcc_positions(4, 10.0)
+        d = np.linalg.norm(r[0] - r[1:], axis=1)
+        assert d.min() == pytest.approx(10.0 / np.sqrt(2))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            simple_cubic_positions(0, 5.0)
+        with pytest.raises(ConfigurationError):
+            fcc_positions(-1, 5.0)
+
+
+class TestRandomSuspension:
+    def test_no_overlap(self):
+        susp = random_suspension(100, 0.2, seed=0)
+        assert susp.min_separation() >= 2.0
+
+    def test_volume_fraction(self):
+        susp = random_suspension(50, 0.15, seed=1)
+        assert susp.volume_fraction == pytest.approx(0.15)
+
+    def test_deterministic_seed(self):
+        s1 = random_suspension(30, 0.1, seed=5)
+        s2 = random_suspension(30, 0.1, seed=5)
+        np.testing.assert_array_equal(s1.positions, s2.positions)
+
+    def test_different_seeds_differ(self):
+        s1 = random_suspension(30, 0.1, seed=5)
+        s2 = random_suspension(30, 0.1, seed=6)
+        assert not np.allclose(s1.positions, s2.positions)
+
+    def test_positions_in_box(self):
+        susp = random_suspension(60, 0.25, seed=2)
+        assert np.all(susp.positions >= 0)
+        assert np.all(susp.positions < susp.box.length)
+
+    def test_invalid_phi(self):
+        with pytest.raises(ConfigurationError):
+            random_suspension(10, 0.0)
+        with pytest.raises(ConfigurationError):
+            random_suspension(10, 0.8)
+
+
+class TestLatticeSuspension:
+    @pytest.mark.parametrize("phi", [0.2, 0.35, 0.45])
+    def test_no_overlap_dense(self, phi):
+        susp = lattice_suspension(108, phi, seed=0)
+        assert susp.min_separation() >= 2.0 - 1e-9
+
+    def test_jitter_breaks_lattice(self):
+        s0 = lattice_suspension(32, 0.3, seed=0, jitter=0.0)
+        s1 = lattice_suspension(32, 0.3, seed=0, jitter=0.3)
+        assert not np.allclose(s0.positions, s1.positions)
+
+    def test_volume_fraction(self):
+        susp = lattice_suspension(64, 0.4, seed=1)
+        assert susp.volume_fraction == pytest.approx(0.4)
+
+
+class TestMakeSuspension:
+    def test_auto_choice_runs_both_regimes(self):
+        dilute = make_suspension(40, 0.1, seed=0)
+        dense = make_suspension(40, 0.4, seed=0)
+        assert dilute.min_separation() >= 2.0
+        assert dense.min_separation() >= 2.0 - 1e-9
+
+
+class TestPolymer:
+    def test_chain_connectivity(self):
+        box = Box(60.0)
+        susp, bonds = bead_spring_chain(20, 2.5, box, seed=0)
+        assert susp.n == 20
+        assert bonds.shape == (19, 2)
+        # consecutive beads at the bond length
+        for a, b in bonds:
+            dr = box.minimum_image(susp.positions[a] - susp.positions[b])
+            assert np.linalg.norm(dr) == pytest.approx(2.5, rel=1e-9)
+
+    def test_self_avoiding(self):
+        box = Box(60.0)
+        susp, _ = bead_spring_chain(30, 2.2, box, seed=1)
+        assert susp.min_separation() >= 2.0
+
+    def test_rejects_overlapping_bond_length(self):
+        with pytest.raises(ConfigurationError):
+            bead_spring_chain(5, 1.5, Box(50.0))
+
+    def test_rejects_short_chain(self):
+        with pytest.raises(ConfigurationError):
+            bead_spring_chain(1, 2.5, Box(50.0))

@@ -1,0 +1,55 @@
+"""Tests for the thread-pool colored spreading executor."""
+
+import numpy as np
+import pytest
+
+from repro import Box
+from repro.parallel.threads import ThreadedSpreader
+from repro.pme.spread import InterpolationMatrix
+
+
+@pytest.fixture
+def system():
+    box = Box(16.0)
+    rng = np.random.default_rng(33)
+    r = rng.uniform(0, box.length, size=(200, 3))
+    return box, r
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 4])
+def test_threaded_matches_matrix(system, n_workers):
+    box, r = system
+    K, p = 32, 4
+    spreader = ThreadedSpreader(r, box, K, p, n_workers=n_workers)
+    interp = InterpolationMatrix(r, box, K, p)
+    f = np.random.default_rng(0).standard_normal(r.shape[0])
+    np.testing.assert_allclose(spreader.spread(f), interp.spread(f),
+                               atol=1e-13)
+
+
+def test_threaded_multivector(system):
+    box, r = system
+    spreader = ThreadedSpreader(r, box, 32, 4, n_workers=3)
+    interp = InterpolationMatrix(r, box, 32, 4)
+    f = np.random.default_rng(1).standard_normal((r.shape[0], 4))
+    np.testing.assert_allclose(spreader.spread(f), interp.spread(f),
+                               atol=1e-13)
+
+
+def test_threaded_deterministic(system):
+    # thread scheduling must not change the result (disjoint writes)
+    box, r = system
+    spreader = ThreadedSpreader(r, box, 32, 4, n_workers=4)
+    f = np.random.default_rng(2).standard_normal(r.shape[0])
+    results = [spreader.spread(f) for _ in range(5)]
+    for res in results[1:]:
+        np.testing.assert_array_equal(res, results[0])
+
+
+def test_block_groups_partition_colors(system):
+    box, r = system
+    spreader = ThreadedSpreader(r, box, 32, 4)
+    for group, blocks in zip(spreader._groups, spreader._block_groups):
+        if group.size:
+            joined = np.sort(np.concatenate(blocks))
+            np.testing.assert_array_equal(joined, np.sort(group))

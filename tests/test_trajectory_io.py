@@ -1,0 +1,60 @@
+"""Tests for trajectory save/load."""
+
+import numpy as np
+import pytest
+
+from repro import FluidParams, Trajectory
+from repro.core.trajectory_io import load_trajectory, save_trajectory
+from repro.errors import ConfigurationError
+
+
+def _sample_trajectory():
+    rng = np.random.default_rng(0)
+    return Trajectory(
+        times=np.linspace(0, 1, 5),
+        positions=rng.standard_normal((5, 7, 3)),
+        box_length=12.5,
+        fluid=FluidParams(radius=2.0, viscosity=0.7, kT=1.3),
+    )
+
+
+def test_roundtrip(tmp_path):
+    traj = _sample_trajectory()
+    path = tmp_path / "traj.npz"
+    save_trajectory(path, traj)
+    loaded = load_trajectory(path)
+    np.testing.assert_array_equal(loaded.times, traj.times)
+    np.testing.assert_array_equal(loaded.positions, traj.positions)
+    assert loaded.box_length == traj.box_length
+    assert loaded.fluid == traj.fluid
+
+
+def test_roundtrip_preserves_analysis(tmp_path):
+    from repro.analysis import mean_squared_displacement
+    traj = _sample_trajectory()
+    path = tmp_path / "t.npz"
+    save_trajectory(path, traj)
+    loaded = load_trajectory(path)
+    np.testing.assert_allclose(
+        mean_squared_displacement(loaded.positions),
+        mean_squared_displacement(traj.positions))
+
+
+def test_rejects_foreign_file(tmp_path):
+    path = tmp_path / "other.npz"
+    np.savez(path, stuff=np.ones(3))
+    with pytest.raises(ConfigurationError):
+        load_trajectory(path)
+
+
+def test_end_to_end_with_simulation(tmp_path):
+    from repro import Simulation
+    from repro.systems import random_suspension
+    susp = random_suspension(15, 0.1, seed=0)
+    sim = Simulation(susp, dt=1e-3, seed=0, target_ep=1e-2)
+    traj, _ = sim.run(n_steps=4, record_interval=2)
+    path = tmp_path / "run.npz"
+    save_trajectory(path, traj)
+    loaded = load_trajectory(path)
+    assert loaded.n_frames == traj.n_frames
+    np.testing.assert_allclose(loaded.positions, traj.positions)

@@ -1,0 +1,47 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.units import FluidParams, REDUCED
+
+
+def test_reduced_units_d0_is_one():
+    assert REDUCED.D0 == pytest.approx(1.0)
+
+
+def test_reduced_units_drag_is_one():
+    assert REDUCED.drag == pytest.approx(1.0)
+
+
+def test_mobility_is_inverse_drag():
+    fp = FluidParams(radius=2.0, viscosity=0.5, kT=3.0)
+    assert fp.mobility0 == pytest.approx(1.0 / (6 * math.pi * 0.5 * 2.0))
+
+
+def test_stokes_einstein():
+    fp = FluidParams(radius=2.0, viscosity=0.5, kT=3.0)
+    assert fp.D0 == pytest.approx(fp.kT * fp.mobility0)
+
+
+def test_with_replaces_fields():
+    fp = REDUCED.with_(kT=2.0)
+    assert fp.kT == 2.0
+    assert fp.radius == REDUCED.radius
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"radius": 0.0}, {"radius": -1.0},
+    {"viscosity": 0.0}, {"viscosity": -0.1},
+    {"kT": 0.0}, {"kT": -1.0},
+])
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        FluidParams(**kwargs)
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        REDUCED.kT = 5.0
