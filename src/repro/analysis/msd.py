@@ -5,10 +5,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..lint.contracts import trajectory_arg
 
 __all__ = ["mean_squared_displacement"]
 
 
+@trajectory_arg()
 def mean_squared_displacement(positions: np.ndarray,
                               max_lag: int | None = None) -> np.ndarray:
     """Time- and particle-averaged MSD for all lags up to ``max_lag``.

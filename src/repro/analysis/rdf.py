@@ -6,11 +6,13 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..geometry.box import Box
+from ..lint.contracts import positions_arg
 from ..neighbor.celllist import CellList
 
 __all__ = ["radial_distribution"]
 
 
+@positions_arg()
 def radial_distribution(positions: np.ndarray, box: Box, r_max: float,
                         n_bins: int = 100) -> tuple[np.ndarray, np.ndarray]:
     """Pair correlation ``g(r)`` of one configuration.

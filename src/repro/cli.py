@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 * ``simulate`` — run a matrix-free (or Ewald) BD simulation of a
   monodisperse suspension and write the trajectory to ``.npz``,
@@ -55,6 +55,13 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--e-p", type=float, default=1e-3)
     tune.add_argument("-p", "--order", type=int, default=6,
                       help="B-spline order (4, 6 or 8)")
+
+    lint = sub.add_parser(
+        "lint", help="physics-aware static analysis (rules RPR001-RPR008)",
+        add_help=False)
+    lint.add_argument("lint_args", nargs=argparse.REMAINDER,
+                      help="arguments forwarded to repro-lint "
+                           "(see `repro lint --help`)")
 
     sub.add_parser("info", help="version and environment summary")
     return parser
@@ -122,6 +129,16 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    return _cmd_lint_argv(args.lint_args)
+
+
+def _cmd_lint_argv(lint_args: list[str]) -> int:
+    from .lint.cli import main as lint_main
+
+    return lint_main(lint_args)
+
+
 def _cmd_info(_args) -> int:
     import numpy
     import scipy
@@ -139,11 +156,17 @@ def _cmd_info(_args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "lint":
+        # Forward everything after `lint` untouched: argparse REMAINDER
+        # refuses a leading optional such as `repro lint --help`.
+        return _cmd_lint_argv(argv[1:])
     args = build_parser().parse_args(argv)
     handlers = {
         "simulate": _cmd_simulate,
         "analyze": _cmd_analyze,
         "tune": _cmd_tune,
+        "lint": _cmd_lint,
         "info": _cmd_info,
     }
     return handlers[args.command](args)

@@ -23,6 +23,7 @@ from ..krylov.block_lanczos import block_lanczos_sqrt
 from ..krylov.chebyshev import chebyshev_sqrt, eigenvalue_bounds
 from ..krylov.lanczos import LanczosInfo
 from ..krylov.reference import cholesky_displacements
+from ..lint.contracts import array_arg, spd_arg
 
 __all__ = ["CholeskyBrownianGenerator", "KrylovBrownianGenerator",
            "ChebyshevBrownianGenerator"]
@@ -40,6 +41,8 @@ class CholeskyBrownianGenerator:
     def __init__(self, kT: float, dt: float):
         self.scale = math.sqrt(2.0 * kT * dt)
 
+    @spd_arg("mobility")
+    @array_arg("z", ndim=(1, 2))
     def generate(self, mobility: np.ndarray, z: np.ndarray) -> np.ndarray:
         """``D = sqrt(2 kT dt) S Z`` with ``mobility = S S^T``."""
         return cholesky_displacements(mobility, z, scale=self.scale)
@@ -67,6 +70,7 @@ class KrylovBrownianGenerator:
         #: Diagnostics of the last solve (iterations, matvecs, ...).
         self.last_info: LanczosInfo | None = None
 
+    @array_arg("z", ndim=(1, 2))
     def generate(self, matvec: Callable[[np.ndarray], np.ndarray],
                  z: np.ndarray) -> np.ndarray:
         """``D = sqrt(2 kT dt) M^(1/2) Z`` via block Lanczos on ``matvec``.
@@ -129,6 +133,7 @@ class ChebyshevBrownianGenerator:
         #: Spectral interval used by the last solve.
         self.last_bounds: tuple[float, float] | None = None
 
+    @array_arg("z", ndim=(1, 2))
     def generate(self, matvec: Callable[[np.ndarray], np.ndarray],
                  z: np.ndarray) -> np.ndarray:
         """``D = sqrt(2 kT dt) M^(1/2) Z`` via a Chebyshev polynomial."""

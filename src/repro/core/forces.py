@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..geometry.box import Box
+from ..lint.contracts import positions_arg
 from ..neighbor.verlet import VerletList
 from ..units import FluidParams, REDUCED
 from ..utils.validation import as_positions
@@ -157,6 +158,7 @@ class ConstantForce(ForceField):
         r = as_positions(positions)
         return np.broadcast_to(self.force, r.shape).copy()
 
+    @positions_arg()
     def energy(self, positions: np.ndarray) -> float:
         # potential of a constant force in a periodic box is gauge
         # dependent; report 0 by convention
@@ -171,11 +173,13 @@ class CompositeForce(ForceField):
             raise ConfigurationError("CompositeForce needs at least one field")
         self.fields = fields
 
+    @positions_arg()
     def forces(self, positions: np.ndarray) -> np.ndarray:
         out = self.fields[0].forces(positions)
         for field in self.fields[1:]:
             out = out + field.forces(positions)
         return out
 
+    @positions_arg()
     def energy(self, positions: np.ndarray) -> float:
         return float(sum(field.energy(positions) for field in self.fields))

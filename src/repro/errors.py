@@ -13,12 +13,14 @@ class ReproError(Exception):
     """Base class for all errors raised by the :mod:`repro` package."""
 
 
-class ConfigurationError(ReproError):
+class ConfigurationError(ReproError, ValueError):
     """A simulation or operator was configured with invalid parameters.
 
     Examples: non-positive box length, B-spline order larger than the
     mesh, a cutoff radius exceeding half the box, or a volume fraction
-    that cannot be packed.
+    that cannot be packed.  Also subclasses :class:`ValueError` so
+    callers (and the runtime contracts of :mod:`repro.lint.contracts`)
+    can treat malformed argument values with the standard idiom.
     """
 
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..lint.contracts import positions_arg
 from ..utils.pbc import fractional_coordinates, minimum_image, wrap_positions
 
 __all__ = ["Box"]
@@ -66,14 +67,17 @@ class Box:
         """Minimum-image displacement vectors (see :func:`repro.utils.pbc.minimum_image`)."""
         return minimum_image(dr, self.length)
 
+    @positions_arg()
     def wrap(self, positions: np.ndarray) -> np.ndarray:
         """Wrap positions into ``[0, L)^3``."""
         return wrap_positions(positions, self.length)
 
+    @positions_arg()
     def fractional(self, positions: np.ndarray, mesh_dim: int) -> np.ndarray:
         """Scaled fractional coordinates ``u = r K / L`` in ``[0, K)``."""
         return fractional_coordinates(positions, self.length, mesh_dim)
 
+    @positions_arg()
     def distances(self, positions: np.ndarray, pairs_i: np.ndarray,
                   pairs_j: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Minimum-image separation vectors and distances for index pairs.

@@ -26,6 +26,7 @@ import numpy as np
 import scipy.linalg
 
 from ..errors import ConvergenceError
+from ..lint.contracts import array_arg
 from .lanczos import LanczosInfo
 
 __all__ = ["block_lanczos_sqrt"]
@@ -47,6 +48,7 @@ def _block_tridiag_sqrt_first(blocks_a: list[np.ndarray],
     return (q * w) @ q[:s].T  # (m s, s)
 
 
+@array_arg("z", ndim=(2,))
 def block_lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
                        z: np.ndarray, tol: float = 1e-2, max_iter: int = 200,
                        reorthogonalize: bool = True

@@ -27,6 +27,7 @@ import numpy as np
 import scipy.linalg
 
 from ..errors import ConvergenceError
+from ..lint.contracts import array_arg
 
 __all__ = ["lanczos_sqrt", "LanczosInfo"]
 
@@ -64,6 +65,7 @@ def _tridiag_sqrt_e1(alpha: np.ndarray, beta: np.ndarray) -> np.ndarray:
     return (q * w) @ q[0]
 
 
+@array_arg("z", ndim=(1,))
 def lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray], z: np.ndarray,
                  tol: float = 1e-2, max_iter: int = 200,
                  reorthogonalize: bool = True,

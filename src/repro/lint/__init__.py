@@ -1,0 +1,61 @@
+"""repro.lint — physics-aware static analysis and runtime array contracts.
+
+Two cooperating layers keep the package's array invariants honest:
+
+* **Static layer** — an AST linter (``python -m repro.lint``, ``repro
+  lint``, ``repro-lint``) with rules RPR001-RPR008 targeting the
+  failure modes of fast Brownian dynamics codes: unvalidated position
+  arrays, global RNG state, unguarded Cholesky factorizations, missing
+  minimum-image folds, dtype drift, swallowed solver diagnostics,
+  mutable defaults and ``assert``-based validation.
+* **Runtime layer** — :mod:`repro.lint.contracts`, lightweight
+  decorators (``@positions_arg``, ``@force_block_arg``,
+  ``@returns_spd``, ...) applied across the public entry points and
+  toggled by the ``REPRO_CHECKS`` environment variable (``0`` off,
+  ``1`` shape checks, ``strict`` finiteness + SPD debug gates).
+
+See ``docs/static_analysis.md`` for each rule's rationale and the paper
+section it protects.
+"""
+
+from __future__ import annotations
+
+from .contracts import (
+    BASIC,
+    OFF,
+    STRICT,
+    array_arg,
+    check_level,
+    contract,
+    force_block_arg,
+    positions_arg,
+    radii_arg,
+    returns_spd,
+    spd_arg,
+    trajectory_arg,
+)
+from .engine import lint_paths, lint_source
+from .findings import Finding, REPORT_JSON_SCHEMA
+from .registry import all_rules, get_rule, resolve_selection
+
+__all__ = [
+    "Finding",
+    "REPORT_JSON_SCHEMA",
+    "lint_paths",
+    "lint_source",
+    "all_rules",
+    "get_rule",
+    "resolve_selection",
+    "OFF",
+    "BASIC",
+    "STRICT",
+    "check_level",
+    "contract",
+    "positions_arg",
+    "force_block_arg",
+    "radii_arg",
+    "trajectory_arg",
+    "array_arg",
+    "spd_arg",
+    "returns_spd",
+]

@@ -1,0 +1,96 @@
+"""Command-line interface of the linter.
+
+Invocations::
+
+    python -m repro.lint [paths ...]
+    repro lint [paths ...]          (subcommand of the main CLI)
+    repro-lint [paths ...]          (console script)
+
+Exit codes follow the convention CI gates on: ``0`` no findings, ``1``
+findings were reported, ``2`` usage error (bad path / unknown rule).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from ..errors import ConfigurationError
+from .findings import report_to_dict
+from .engine import lint_paths
+from .registry import all_rules
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Physics-aware static analysis for the repro package "
+                    "(rules RPR001-RPR008; see docs/static_analysis.md)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", "-f", choices=["text", "json"],
+                        default="text", help="output format")
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="RULES",
+                        help="comma-separated rule-id prefixes to enable "
+                             "(default: all); repeatable")
+    parser.add_argument("--ignore", action="append", default=None,
+                        metavar="RULES",
+                        help="comma-separated rule-id prefixes to disable; "
+                             "repeatable")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print every registered rule and exit")
+    return parser
+
+
+def _split_csv(values: list[str] | None) -> list[str] | None:
+    if values is None:
+        return None
+    return [item.strip() for value in values for item in value.split(",")
+            if item.strip()]
+
+
+def _print_rules(out) -> None:
+    for rule in all_rules():
+        meta = rule.meta
+        print(f"{meta.id}  {meta.name}", file=out)
+        print(f"    {meta.summary}", file=out)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code (0 clean, 1 findings)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        _print_rules(sys.stdout)
+        return 0
+
+    try:
+        findings, files_checked = lint_paths(
+            args.paths, select=_split_csv(args.select),
+            ignore=_split_csv(args.ignore))
+    except ConfigurationError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro-lint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps(report_to_dict(findings, files_checked), indent=2))
+    else:
+        for finding in findings:
+            print(finding.format_text())
+        summary = (f"{len(findings)} finding(s) in {files_checked} file(s)"
+                   if findings else
+                   f"clean: {files_checked} file(s), no findings")
+        print(summary)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

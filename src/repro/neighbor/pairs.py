@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..geometry.box import Box
+from ..lint.contracts import positions_arg
 from ..utils.validation import as_positions, require
 
 __all__ = ["brute_force_pairs", "find_pairs", "canonicalize_pairs"]
@@ -44,6 +45,7 @@ def canonicalize_pairs(i: np.ndarray, j: np.ndarray
     return lo[order], hi[order]
 
 
+@positions_arg()
 def find_pairs(positions, box: Box, cutoff: float, backend: str = "cells"
                ) -> tuple[np.ndarray, np.ndarray]:
     """Find interacting pairs with the requested backend.

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..geometry.box import Box
+from ..lint.contracts import positions_arg
 from ..neighbor.pairs import find_pairs
 from ..rpy import beenakker
 from ..sparse.bcsr import BlockCSR
@@ -69,6 +70,7 @@ class SlabDecomposition:
         d = np.floor(r[:, 0] / self.slab_width).astype(np.intp)
         return np.minimum(d, self.n_domains - 1)
 
+    @positions_arg()
     def owned_indices(self, positions, domain: int) -> np.ndarray:
         """Global indices of the particles domain ``domain`` owns."""
         return np.flatnonzero(self.owner(positions) == domain)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..geometry.box import Box
+from ..lint.contracts import positions_arg
 from ..rpy.ewald import EwaldSummation
 from ..units import FluidParams, REDUCED
 from .operator import PMEOperator, PMEParams
@@ -22,6 +23,7 @@ __all__ = ["pme_relative_error", "reference_operator"]
 DENSE_REFERENCE_LIMIT = 600
 
 
+@positions_arg()
 def reference_operator(positions, box: Box, params: PMEParams,
                        fluid: FluidParams = REDUCED):
     """A high-accuracy reference ``u = M f`` callable for ``e_p`` measurement.

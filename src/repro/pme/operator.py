@@ -27,6 +27,7 @@ from scipy.sparse.linalg import LinearOperator
 
 from ..errors import ConfigurationError
 from ..geometry.box import Box
+from ..lint.contracts import force_block_arg, positions_arg
 from ..units import FluidParams, REDUCED
 from ..utils.timing import PhaseTimer
 from ..utils.validation import as_force_block, as_positions
@@ -114,6 +115,7 @@ class PMEOperator:
     operator once per ``lambda_RPY`` steps.
     """
 
+    @positions_arg()
     def __init__(self, positions, box: Box, params: PMEParams,
                  fluid: FluidParams = REDUCED, neighbor_backend: str = "cells",
                  store_p: bool = True, real_engine: str = "scipy"):
@@ -152,6 +154,7 @@ class PMEOperator:
         """Operator shape ``(3n, 3n)``."""
         return (3 * self.n, 3 * self.n)
 
+    @force_block_arg()
     def apply(self, forces) -> np.ndarray:
         """``u = M f`` for ``f`` of shape ``(3n,)`` or ``(3n, s)``.
 

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..geometry.box import Box
+from ..lint.contracts import force_block_arg, positions_arg
 from ..neighbor.pairs import find_pairs
 from ..rpy import beenakker
 from ..sparse.bcsr import BlockCSR
@@ -58,6 +59,7 @@ class RealSpaceOperator:
         ``"rpy"`` (default) or ``"oseen"``.
     """
 
+    @positions_arg()
     def __init__(self, positions, box: Box, xi: float, r_max: float,
                  fluid: FluidParams = REDUCED, neighbor_backend: str = "cells",
                  overlap_corrected: bool = True, engine: str = "scipy",
@@ -107,6 +109,7 @@ class RealSpaceOperator:
         #: Number of interacting pairs within ``r_max``.
         self.n_pairs = int(i.size)
 
+    @force_block_arg()
     def apply(self, forces) -> np.ndarray:
         """``u_real = (M_real + M_self) f`` in ``mu0`` units.
 

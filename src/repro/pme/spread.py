@@ -22,6 +22,7 @@ import scipy.sparse as sp
 
 from ..errors import ConfigurationError
 from ..geometry.box import Box
+from ..lint.contracts import positions_arg
 from ..utils.validation import as_positions
 from .bspline import bspline_weights
 
@@ -93,6 +94,7 @@ class InterpolationMatrix:
     pipeline; :meth:`spread` is step 2 and :meth:`interpolate` step 6.
     """
 
+    @positions_arg()
     def __init__(self, positions, box: Box, K: int, p: int,
                  kind: str = "bspline"):
         data, cols = _weights_and_columns(positions, box, K, p, kind=kind)

@@ -26,6 +26,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..geometry.box import Box
+from ..lint.contracts import force_block_arg, positions_arg, returns_spd
 from ..units import FluidParams, REDUCED
 from ..utils.validation import as_positions
 from . import beenakker
@@ -125,6 +126,8 @@ class EwaldSummation:
     # dense matrix construction
     # ------------------------------------------------------------------
 
+    @positions_arg()
+    @returns_spd("Ewald-summed periodic RPY mobility matrix")
     def matrix(self, positions) -> np.ndarray:
         """Build the dense ``3n x 3n`` periodic RPY mobility matrix.
 
@@ -144,6 +147,8 @@ class EwaldSummation:
         m *= self.fluid.mobility0
         return m
 
+    @positions_arg()
+    @force_block_arg()
     def apply(self, positions, forces) -> np.ndarray:
         """Reference ``u = M f`` via the dense matrix (small systems only)."""
         mat = self.matrix(positions)
@@ -244,6 +249,7 @@ class EwaldSummation:
                 m[3 * i:3 * i + 3, 3 * i:3 * i + 3] += total
 
 
+@positions_arg()
 def ewald_mobility_matrix(positions, box: Box, fluid: FluidParams = REDUCED,
                           xi: float | None = None, tol: float = 1e-8
                           ) -> np.ndarray:

@@ -31,8 +31,9 @@ import math
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..lint.contracts import positions_arg, radii_arg, returns_spd
 from ..units import FluidParams, REDUCED
-from ..utils.validation import as_positions
+from ..utils.validation import as_positions, as_radii
 
 __all__ = ["rpy_polydisperse_pair_tensors", "mobility_matrix_polydisperse"]
 
@@ -113,6 +114,9 @@ def rpy_polydisperse_pair_tensors(rij: np.ndarray, radii_i: np.ndarray,
             + g[:, None, None] * (rhat[:, :, None] * rhat[:, None, :]))
 
 
+@positions_arg()
+@radii_arg()
+@returns_spd("polydisperse RPY mobility matrix")
 def mobility_matrix_polydisperse(positions, radii,
                                  viscosity: float = REDUCED.viscosity
                                  ) -> np.ndarray:
@@ -133,13 +137,8 @@ def mobility_matrix_polydisperse(positions, radii,
     ``I / (6 pi eta a_i)``.
     """
     r = as_positions(positions)
-    radii = np.asarray(radii, dtype=np.float64)
     n = r.shape[0]
-    if radii.shape != (n,):
-        raise ConfigurationError(
-            f"radii must have shape ({n},), got {radii.shape}")
-    if np.any(radii <= 0):
-        raise ConfigurationError("radii must be positive")
+    radii = as_radii(radii, n)
     m = np.zeros((3 * n, 3 * n))
     for i in range(n):
         m[3 * i:3 * i + 3, 3 * i:3 * i + 3] = (

@@ -19,6 +19,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from ..errors import ConfigurationError
+from ..lint.contracts import force_block_arg
 
 __all__ = ["BlockCSR"]
 
@@ -130,6 +131,7 @@ class BlockCSR:
     # products
     # ------------------------------------------------------------------
 
+    @force_block_arg("x")
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Sparse product ``y = A x`` for ``x`` of shape ``(3n,)`` or ``(3n, s)``.
 

@@ -5,6 +5,7 @@ from .timing import Timer, PhaseTimer
 from .validation import (
     as_positions,
     as_force_block,
+    as_radii,
     check_square_box,
     require,
 )
@@ -17,6 +18,7 @@ __all__ = [
     "PhaseTimer",
     "as_positions",
     "as_force_block",
+    "as_radii",
     "check_square_box",
     "require",
 ]

@@ -35,7 +35,8 @@ def minimum_image(dr: np.ndarray, box_length: float) -> np.ndarray:
     return dr - box_length * np.round(dr / box_length)
 
 
-def wrap_positions(positions: np.ndarray, box_length: float) -> np.ndarray:
+def wrap_positions(positions: np.ndarray,  # noqa: RPR001 - any-shape helper below the validation layer
+                   box_length: float) -> np.ndarray:
     """Wrap absolute positions into the primary box ``[0, L)^3``.
 
     Exact multiples of ``L`` map to ``0`` so that the result is always a
@@ -51,8 +52,8 @@ def wrap_positions(positions: np.ndarray, box_length: float) -> np.ndarray:
     return wrapped
 
 
-def fractional_coordinates(positions: np.ndarray, box_length: float,
-                           mesh_dim: int) -> np.ndarray:
+def fractional_coordinates(positions: np.ndarray,  # noqa: RPR001 - validated by Box.fractional
+                           box_length: float, mesh_dim: int) -> np.ndarray:
     """Scaled fractional coordinates ``u = r * K / L`` in ``[0, K)``.
 
     These are the coordinates used by the PME spreading equation

@@ -1,0 +1,407 @@
+"""Tests of the static layer: rules RPR001-RPR008, CLI, output formats."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    REPORT_JSON_SCHEMA,
+    all_rules,
+    lint_paths,
+    lint_source,
+    resolve_selection,
+)
+from repro.lint.cli import main as lint_main
+
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+
+def rule_ids(source: str) -> list[str]:
+    """Rule ids reported for an in-memory snippet."""
+    return [f.rule for f in lint_source(dedent(source), "<snippet>")]
+
+
+# ----------------------------------------------------------------------
+# the registry itself
+# ----------------------------------------------------------------------
+
+def test_at_least_eight_rules_registered():
+    rules = all_rules()
+    assert len(rules) >= 8
+    ids = [r.meta.id for r in rules]
+    assert ids == sorted(ids)
+    for expected in [f"RPR00{k}" for k in range(1, 9)]:
+        assert expected in ids
+
+
+def test_every_rule_has_summary_and_rationale():
+    for rule in all_rules():
+        assert rule.meta.summary
+        assert rule.meta.rationale
+
+
+def test_resolve_selection_prefixes():
+    assert resolve_selection(["RPR001"], None) == {"RPR001"}
+    everything = resolve_selection(None, None)
+    assert resolve_selection(["RPR"], None) == everything
+    assert "RPR007" not in resolve_selection(None, ["RPR007"])
+    with pytest.raises(ConfigurationError):
+        resolve_selection(["RPR9"], None)
+    with pytest.raises(ConfigurationError):
+        resolve_selection(None, ["XXX1"])
+
+
+# ----------------------------------------------------------------------
+# RPR001 unvalidated positions
+# ----------------------------------------------------------------------
+
+def test_rpr001_flags_unvalidated_positions():
+    assert "RPR001" in rule_ids("""
+        def displace(positions, dt):
+            return positions + dt
+    """)
+
+
+def test_rpr001_accepts_as_positions_call():
+    assert "RPR001" not in rule_ids("""
+        from repro.utils.validation import as_positions
+
+        def displace(positions, dt):
+            r = as_positions(positions)
+            return r + dt
+    """)
+
+
+def test_rpr001_accepts_contract_decorator():
+    assert "RPR001" not in rule_ids("""
+        from repro.lint.contracts import positions_arg
+
+        @positions_arg()
+        def displace(positions, dt):
+            return positions + dt
+    """)
+
+
+def test_rpr001_skips_private_abstract_and_delegating():
+    assert "RPR001" not in rule_ids("""
+        from abc import abstractmethod
+
+        def _helper(positions):
+            return positions
+
+        class Base:
+            @abstractmethod
+            def forces(self, positions):
+                \"\"\"stub\"\"\"
+
+        class Child(Base):
+            def __init__(self, positions, extra):
+                super().__init__(positions)
+                self.extra = extra
+    """)
+
+
+# ----------------------------------------------------------------------
+# RPR002 global RNG
+# ----------------------------------------------------------------------
+
+def test_rpr002_flags_global_rng():
+    findings = lint_source(dedent("""
+        import numpy as np
+        z = np.random.rand(3)
+        np.random.seed(0)
+    """), "<snippet>")
+    assert [f.rule for f in findings] == ["RPR002", "RPR002"]
+    assert "np.random.rand" in findings[0].message
+
+
+def test_rpr002_accepts_generator_api():
+    assert "RPR002" not in rule_ids("""
+        import numpy as np
+        rng = np.random.default_rng(42)
+        z = rng.standard_normal(3)
+    """)
+
+
+# ----------------------------------------------------------------------
+# RPR003 unguarded cholesky
+# ----------------------------------------------------------------------
+
+def test_rpr003_flags_bare_cholesky():
+    assert "RPR003" in rule_ids("""
+        import numpy as np
+
+        def factor(m):
+            return np.linalg.cholesky(m)
+    """)
+
+
+def test_rpr003_accepts_guarded_cholesky():
+    assert "RPR003" not in rule_ids("""
+        import numpy as np
+
+        def factor(m):
+            try:
+                return np.linalg.cholesky(m)
+            except np.linalg.LinAlgError as exc:
+                raise RuntimeError("not SPD") from exc
+    """)
+
+
+# ----------------------------------------------------------------------
+# RPR004 missing minimum image
+# ----------------------------------------------------------------------
+
+def test_rpr004_flags_raw_pair_distance_in_periodic_module():
+    assert "RPR004" in rule_ids("""
+        import numpy as np
+        from repro.geometry.box import Box
+
+        def distances(r, i, j):
+            return np.linalg.norm(r[i] - r[j], axis=1)
+    """)
+
+
+def test_rpr004_ignores_modules_without_box():
+    assert "RPR004" not in rule_ids("""
+        import numpy as np
+
+        def distances(r, i, j):
+            return np.linalg.norm(r[i] - r[j], axis=1)
+    """)
+
+
+def test_rpr004_ignores_plain_residual_norms():
+    assert "RPR004" not in rule_ids("""
+        import numpy as np
+        from repro.geometry.box import Box
+
+        def error(u_pme, u_ref):
+            return np.linalg.norm(u_pme - u_ref)
+    """)
+
+
+# ----------------------------------------------------------------------
+# RPR005 dtype drift
+# ----------------------------------------------------------------------
+
+def test_rpr005_flags_reduced_precision_dtypes():
+    findings = rule_ids("""
+        import numpy as np
+        a = np.zeros(3, dtype=np.float32)
+        b = np.empty(3, dtype="float32")
+    """)
+    assert findings.count("RPR005") == 2
+
+
+def test_rpr005_accepts_float64():
+    assert "RPR005" not in rule_ids("""
+        import numpy as np
+        a = np.zeros(3, dtype=np.float64)
+        b = np.zeros(3)
+    """)
+
+
+# ----------------------------------------------------------------------
+# RPR006 swallowed exceptions
+# ----------------------------------------------------------------------
+
+def test_rpr006_flags_swallowing_handlers():
+    findings = rule_ids("""
+        def run(op):
+            try:
+                op()
+            except Exception:
+                pass
+            try:
+                op()
+            except:
+                return None
+    """)
+    assert findings.count("RPR006") == 2
+
+
+def test_rpr006_accepts_narrow_or_reraising_handlers():
+    assert "RPR006" not in rule_ids("""
+        def run(op):
+            try:
+                op()
+            except ValueError:
+                pass
+            try:
+                op()
+            except Exception:
+                raise
+    """)
+
+
+# ----------------------------------------------------------------------
+# RPR007 mutable defaults
+# ----------------------------------------------------------------------
+
+def test_rpr007_flags_mutable_defaults():
+    findings = rule_ids("""
+        def collect(x, out=[]):
+            out.append(x)
+            return out
+
+        def index(x, table=dict()):
+            return table
+    """)
+    assert findings.count("RPR007") == 2
+
+
+def test_rpr007_accepts_none_default():
+    assert "RPR007" not in rule_ids("""
+        def collect(x, out=None):
+            out = [] if out is None else out
+            out.append(x)
+            return out
+    """)
+
+
+# ----------------------------------------------------------------------
+# RPR008 assert validation
+# ----------------------------------------------------------------------
+
+def test_rpr008_flags_assert():
+    assert "RPR008" in rule_ids("""
+        def apply(m, f):
+            assert f.ndim == 1, "flat vectors only"
+            return m @ f
+    """)
+
+
+# ----------------------------------------------------------------------
+# noqa suppression and parse failures
+# ----------------------------------------------------------------------
+
+def test_noqa_blanket_and_specific():
+    assert rule_ids("""
+        import numpy as np
+        a = np.random.rand(3)  # noqa
+        b = np.random.rand(3)  # noqa: RPR002
+    """) == []
+
+
+def test_noqa_other_rule_does_not_suppress():
+    assert "RPR002" in rule_ids("""
+        import numpy as np
+        a = np.random.rand(3)  # noqa: RPR005
+    """)
+
+
+def test_syntax_error_becomes_rpr000_finding():
+    findings = lint_source("def broken(:\n", "bad.py")
+    assert len(findings) == 1
+    assert findings[0].rule == "RPR000"
+
+
+# ----------------------------------------------------------------------
+# the enforceable gate: the package itself lints clean
+# ----------------------------------------------------------------------
+
+def test_repo_src_is_lint_clean():
+    findings, files_checked = lint_paths([SRC_DIR])
+    assert files_checked > 50
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# CLI: exit codes, select/ignore, formats
+# ----------------------------------------------------------------------
+
+SEEDED_VIOLATIONS = dedent("""
+    import numpy as np
+
+    def jitter(positions, scale=[]):
+        assert scale, "scale required"
+        noise = np.random.rand(*positions.shape)
+        return positions + np.asarray(noise, dtype=np.float32)
+""")
+
+
+@pytest.fixture
+def seeded_file(tmp_path):
+    path = tmp_path / "seeded.py"
+    path.write_text(SEEDED_VIOLATIONS)
+    return path
+
+
+def test_cli_nonzero_exit_on_seeded_violations(seeded_file, capsys):
+    assert lint_main([str(seeded_file)]) == 1
+    out = capsys.readouterr().out
+    for rule in ("RPR001", "RPR002", "RPR005", "RPR007", "RPR008"):
+        assert rule in out
+
+
+def test_cli_zero_exit_on_clean_file(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("X = 1\n")
+    assert lint_main([str(clean)]) == 0
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_cli_select_restricts_rules(seeded_file, capsys):
+    assert lint_main([str(seeded_file), "--select", "RPR002"]) == 1
+    out = capsys.readouterr().out
+    assert "RPR002" in out
+    assert "RPR007" not in out
+
+
+def test_cli_ignore_can_silence_everything(seeded_file):
+    code = lint_main([str(seeded_file),
+                      "--ignore", "RPR001,RPR002,RPR005,RPR007,RPR008"])
+    assert code == 0
+
+
+def test_cli_unknown_rule_is_usage_error(seeded_file, capsys):
+    assert lint_main([str(seeded_file), "--select", "NOPE"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_cli_missing_path_is_usage_error(tmp_path, capsys):
+    assert lint_main([str(tmp_path / "does_not_exist.py")]) == 2
+
+
+def test_cli_list_rules(capsys):
+    assert lint_main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "RPR001" in out and "RPR008" in out
+
+
+def _validate_against_schema(doc: dict) -> None:
+    """Minimal structural validation against REPORT_JSON_SCHEMA."""
+    for key in REPORT_JSON_SCHEMA["required"]:
+        assert key in doc
+    assert isinstance(doc["version"], int)
+    assert isinstance(doc["files_checked"], int)
+    assert isinstance(doc["counts"], dict)
+    finding_schema = REPORT_JSON_SCHEMA["properties"]["findings"]["items"]
+    for finding in doc["findings"]:
+        for key in finding_schema["required"]:
+            assert key in finding
+        assert finding["line"] >= 1
+        assert finding["col"] >= 0
+        assert finding["rule"].startswith("RPR")
+
+
+def test_cli_json_output_matches_schema(seeded_file, capsys):
+    assert lint_main([str(seeded_file), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    _validate_against_schema(doc)
+    assert doc["files_checked"] == 1
+    assert sum(doc["counts"].values()) == len(doc["findings"])
+    assert doc["counts"]["RPR002"] == 1
+
+
+def test_repro_cli_lint_subcommand(seeded_file):
+    from repro.cli import main as repro_main
+
+    assert repro_main(["lint", str(seeded_file)]) == 1
+    assert repro_main(["lint", str(seeded_file), "--select", "RPR006"]) == 0
