@@ -37,6 +37,13 @@ from .errors import (
     ConvergenceError,
     NotPositiveDefiniteError,
     OverlapError,
+    CheckpointCorruptionError,
+)
+from .resilience import (
+    FailureKind,
+    StepFailure,
+    RecoveryPolicy,
+    RecoveryLog,
 )
 from .systems import (
     Suspension,
@@ -95,6 +102,11 @@ __all__ = [
     "ConvergenceError",
     "NotPositiveDefiniteError",
     "OverlapError",
+    "CheckpointCorruptionError",
+    "FailureKind",
+    "StepFailure",
+    "RecoveryPolicy",
+    "RecoveryLog",
     "Suspension",
     "make_suspension",
     "random_suspension",

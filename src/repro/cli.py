@@ -44,6 +44,18 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--seed", type=int, default=0)
     sim.add_argument("--record-interval", type=int, default=10)
     sim.add_argument("-o", "--output", default="trajectory.npz")
+    sim.add_argument("--checkpoint", default=None, metavar="PATH",
+                     help="write rotating crash-safe checkpoints to PATH")
+    sim.add_argument("--checkpoint-interval", type=int, default=None,
+                     help="steps between checkpoints "
+                          "(default: lambda-rpy, the bit-exact choice)")
+    sim.add_argument("--recover", action="store_true",
+                     help="enable the fault-tolerant step loop "
+                          "(retry/degrade ladder, dt backoff, rollback)")
+    sim.add_argument("--inject-faults", default=None, metavar="SPEC",
+                     help="deterministic fault-injection soak, e.g. "
+                          "'seed=7,lanczos=0.01,nan-force=0.005,ckpt=kill@3'"
+                          " (implies --recover)")
 
     ana = sub.add_parser("analyze", help="analyze a saved trajectory")
     ana.add_argument("trajectory", help="path to a .npz trajectory")
@@ -70,6 +82,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_simulate(args) -> int:
     from .core.simulation import Simulation
     from .core.trajectory_io import save_trajectory
+    from .resilience import RecoveryPolicy
     from .systems.suspension import make_suspension
 
     susp = make_suspension(args.particles, args.phi, seed=args.seed)
@@ -78,15 +91,53 @@ def _cmd_simulate(args) -> int:
     kwargs = {}
     if args.algorithm == "matrix-free":
         kwargs = dict(e_k=args.e_k, target_ep=args.e_p)
+    recovery = (RecoveryPolicy() if (args.recover or args.inject_faults)
+                else None)
     sim = Simulation(susp, algorithm=args.algorithm, dt=args.dt,
                      lambda_rpy=args.lambda_rpy, seed=args.seed + 1,
-                     **kwargs)
-    traj, stats = sim.run(n_steps=args.steps,
-                          record_interval=args.record_interval)
+                     recovery=recovery, **kwargs)
+
+    run_kwargs = dict(n_steps=args.steps,
+                      record_interval=args.record_interval)
+    schedule = None
+    if args.inject_faults is not None:
+        from .resilience.faults import (
+            FaultSchedule,
+            faulty_checkpoint_callback,
+            install_faults,
+        )
+
+        schedule = FaultSchedule.from_spec(args.inject_faults)
+        install_faults(sim.integrator, schedule)
+        if args.checkpoint:
+            from .core.integrators import BDStepStats
+
+            # share one stats object so checkpoint faults land in the
+            # same recovery log as everything else
+            run_kwargs["stats"] = BDStepStats()
+            run_kwargs["extra_callback"] = faulty_checkpoint_callback(
+                args.checkpoint, sim.integrator,
+                args.checkpoint_interval or args.lambda_rpy, schedule,
+                log=run_kwargs["stats"].recovery)
+    elif args.checkpoint:
+        run_kwargs["checkpoint_path"] = args.checkpoint
+        run_kwargs["checkpoint_interval"] = args.checkpoint_interval
+
+    traj, stats = sim.run(**run_kwargs)
     save_trajectory(args.output, traj)
     print(f"ran {stats.n_steps} steps in {stats.timers.total:.1f} s "
           f"({stats.seconds_per_step * 1e3:.1f} ms/step); "
           f"{traj.n_frames} frames -> {args.output}")
+    if schedule is not None:
+        print(f"injected faults: {len(schedule.injected)} "
+              f"(force={schedule.count('force')}, "
+              f"operator={schedule.count('operator')}, "
+              f"brownian={schedule.count('brownian')}, "
+              f"checkpoint={schedule.count('checkpoint')})")
+    if recovery is not None:
+        print("recovery log:")
+        for line in stats.recovery.summary().splitlines():
+            print(f"  {line}")
     return 0
 
 

@@ -30,6 +30,7 @@ from .trajectory_io import save_trajectory, load_trajectory
 from .checkpoint import (
     save_checkpoint,
     load_checkpoint,
+    load_checkpoint_with_fallback,
     resume,
     checkpoint_callback,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "load_trajectory",
     "save_checkpoint",
     "load_checkpoint",
+    "load_checkpoint_with_fallback",
     "resume",
     "checkpoint_callback",
     "Monitor",

@@ -6,6 +6,16 @@ everything needed to continue *bit-exactly*: the current wrapped
 positions, the accumulated unwrapped offset, the step count and the
 exact NumPy RNG state of the integrator.
 
+Checkpoint writes are **crash-safe**: the archive is written to a
+temporary file in the same directory, fsynced, and atomically renamed
+over the destination, so a process kill mid-write never corrupts the
+previous checkpoint.  Every checkpoint embeds a SHA-256 checksum of
+its payload which :func:`load_checkpoint` verifies, raising
+:class:`~repro.errors.CheckpointCorruptionError` on truncation or bit
+rot; :func:`checkpoint_callback` additionally rotates the previous
+checkpoint to ``<path>.prev`` so a corrupt latest file falls back to
+the previous good one (:func:`load_checkpoint_with_fallback`).
+
 The integrator state is deliberately *not* pickled: checkpoints are
 plain ``.npz`` archives readable across library versions, and the
 mobility representation is rebuilt on resume (it is rebuilt every
@@ -14,23 +24,44 @@ mobility representation is rebuilt on resume (it is rebuilt every
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import tempfile
+import zipfile
+import zlib
 
 import numpy as np
 
-from ..errors import ConfigurationError
+from ..errors import CheckpointCorruptionError, ConfigurationError
 
-__all__ = ["save_checkpoint", "load_checkpoint", "resume",
-           "checkpoint_callback"]
+__all__ = ["save_checkpoint", "load_checkpoint",
+           "load_checkpoint_with_fallback", "previous_checkpoint_path",
+           "resume", "checkpoint_callback"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+
+def previous_checkpoint_path(path: str | os.PathLike) -> str:
+    """The rotation target for ``path`` (``<path>.prev``)."""
+    return str(path) + ".prev"
+
+
+def _payload_checksum(wrapped: np.ndarray, unwrapped: np.ndarray,
+                      step: int, state: str) -> str:
+    """SHA-256 over a canonical serialization of the checkpoint payload."""
+    h = hashlib.sha256()
+    h.update(np.ascontiguousarray(wrapped).tobytes())
+    h.update(np.ascontiguousarray(unwrapped).tobytes())
+    h.update(str(int(step)).encode())
+    h.update(state.encode())
+    return h.hexdigest()
 
 
 def save_checkpoint(path: str | os.PathLike, wrapped: np.ndarray,
                     unwrapped: np.ndarray, step: int,
                     rng: np.random.Generator) -> None:
-    """Write a resumable checkpoint.
+    """Write a resumable checkpoint, atomically.
 
     Parameters
     ----------
@@ -44,43 +75,146 @@ def save_checkpoint(path: str | os.PathLike, wrapped: np.ndarray,
         The integrator's generator; its full bit-generator state is
         serialized so the continued noise stream is identical to an
         uninterrupted run.
+
+    Notes
+    -----
+    The archive is staged in a temporary file in the destination
+    directory, flushed and fsynced, then moved into place with
+    :func:`os.replace` — on any crash the destination holds either the
+    complete old checkpoint or the complete new one, never a torn
+    write.
     """
+    wrapped = np.asarray(wrapped, dtype=np.float64)
+    unwrapped = np.asarray(unwrapped, dtype=np.float64)
     state = json.dumps(rng.bit_generator.state)
-    np.savez_compressed(
-        path,
-        format_version=_FORMAT_VERSION,
-        wrapped=np.asarray(wrapped, dtype=np.float64),
-        unwrapped=np.asarray(unwrapped, dtype=np.float64),
-        step=int(step),
-        rng_state=np.frombuffer(state.encode(), dtype=np.uint8),
-    )
+    checksum = _payload_checksum(wrapped, unwrapped, step, state)
+
+    path = os.fspath(path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".ckpt-",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                format_version=_FORMAT_VERSION,
+                wrapped=wrapped,
+                unwrapped=unwrapped,
+                step=int(step),
+                rng_state=np.frombuffer(state.encode(), dtype=np.uint8),
+                checksum=np.frombuffer(checksum.encode(), dtype=np.uint8),
+            )
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:  # best effort: persist the rename itself
+        dir_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        pass
 
 
 def load_checkpoint(path: str | os.PathLike
                     ) -> tuple[np.ndarray, np.ndarray, int,
                                np.random.Generator]:
-    """Read a checkpoint; returns ``(wrapped, unwrapped, step, rng)``."""
-    with np.load(path) as data:
+    """Read and verify a checkpoint; returns ``(wrapped, unwrapped, step, rng)``.
+
+    Raises
+    ------
+    CheckpointCorruptionError
+        If the file is not a readable archive (truncated mid-write by a
+        non-atomic writer, for instance) or its embedded checksum does
+        not match the payload (bit rot, partial overwrite).
+    ConfigurationError
+        If the file is a valid archive but not a repro checkpoint, or
+        an unsupported format version.
+    FileNotFoundError
+        If ``path`` does not exist.
+    """
+    try:
+        data = np.load(path)
+    except FileNotFoundError:
+        raise
+    except (OSError, ValueError, zipfile.BadZipFile, EOFError,
+            zlib.error) as exc:
+        raise CheckpointCorruptionError(
+            f"{path} is unreadable (truncated or corrupt archive): "
+            f"{exc}") from exc
+    with data:
         try:
             version = int(data["format_version"])
             wrapped = data["wrapped"]
             unwrapped = data["unwrapped"]
             step = int(data["step"])
             raw = bytes(data["rng_state"].tobytes())
+            stored_checksum = (bytes(data["checksum"].tobytes()).decode()
+                               if version >= 2 else None)
         except KeyError as exc:
             raise ConfigurationError(
                 f"{path} is not a repro checkpoint: missing {exc}") from exc
-    if version != _FORMAT_VERSION:
+        except (zipfile.BadZipFile, OSError, EOFError, ValueError,
+                zlib.error) as exc:
+            # zlib.error: a bit flip inside a deflated member breaks
+            # the stream before the zip CRC is even checked
+            raise CheckpointCorruptionError(
+                f"{path} is corrupt (archive member unreadable): "
+                f"{exc}") from exc
+    if version not in (1, _FORMAT_VERSION):
         raise ConfigurationError(
             f"unsupported checkpoint format version {version}")
-    state = json.loads(raw.decode())
+    state_json = raw.decode(errors="replace")
+    if stored_checksum is not None:
+        expected = _payload_checksum(wrapped, unwrapped, step, state_json)
+        if stored_checksum != expected:
+            raise CheckpointCorruptionError(
+                f"{path} failed its integrity check "
+                f"(stored {stored_checksum[:12]}..., "
+                f"computed {expected[:12]}...)")
+    try:
+        state = json.loads(state_json)
+    except json.JSONDecodeError as exc:
+        raise CheckpointCorruptionError(
+            f"{path} has an unparseable RNG state: {exc}") from exc
     rng = np.random.default_rng()
     rng.bit_generator.state = state
     return wrapped, unwrapped, step, rng
 
 
+def load_checkpoint_with_fallback(path: str | os.PathLike
+                                  ) -> tuple[np.ndarray, np.ndarray, int,
+                                             np.random.Generator, str]:
+    """Load ``path``, falling back to its rotated predecessor.
+
+    Returns ``(wrapped, unwrapped, step, rng, used_path)`` where
+    ``used_path`` names the file that actually loaded.  The fallback is
+    attempted when the latest checkpoint is missing or fails integrity
+    verification; if both fail, the *primary* error is raised (with the
+    fallback failure attached as context).
+    """
+    prev = previous_checkpoint_path(path)
+    try:
+        wrapped, unwrapped, step, rng = load_checkpoint(path)
+        return wrapped, unwrapped, step, rng, os.fspath(path)
+    except (CheckpointCorruptionError, FileNotFoundError) as primary:
+        try:
+            wrapped, unwrapped, step, rng = load_checkpoint(prev)
+        except (CheckpointCorruptionError, FileNotFoundError,
+                ConfigurationError) as secondary:
+            raise primary from secondary
+        return wrapped, unwrapped, step, rng, prev
+
+
 def resume(path: str | os.PathLike, integrator, n_steps: int,
-           callback=None):
+           callback=None, fallback: bool = True):
     """Continue an integrator run from a checkpoint.
 
     The integrator's RNG is replaced by the checkpointed one and
@@ -89,11 +223,19 @@ def resume(path: str | os.PathLike, integrator, n_steps: int,
     resumed) trajectory is bit-identical to an uninterrupted run —
     tested in ``tests/test_checkpoint.py``.
 
+    With ``fallback=True`` (default) a corrupt or missing latest
+    checkpoint falls back to the rotated ``<path>.prev`` written by
+    :func:`checkpoint_callback`.
+
     Returns ``(unwrapped, stats)`` like
     :meth:`repro.core.integrators.BrownianDynamicsBase.run`; the
     returned unwrapped positions continue the stored unwrapped frame.
     """
-    wrapped, unwrapped_start, step0, rng = load_checkpoint(path)
+    if fallback:
+        wrapped, unwrapped_start, step0, rng, _used = (
+            load_checkpoint_with_fallback(path))
+    else:
+        wrapped, unwrapped_start, step0, rng = load_checkpoint(path)
     integrator.rng = rng
     offset = unwrapped_start - wrapped
 
@@ -108,8 +250,19 @@ def resume(path: str | os.PathLike, integrator, n_steps: int,
 
 
 def checkpoint_callback(path: str | os.PathLike, integrator,
-                        interval: int):
+                        interval: int, keep_previous: bool = True,
+                        _save=save_checkpoint):
     """A run callback writing a checkpoint every ``interval`` steps.
+
+    With ``keep_previous=True`` (default) the existing checkpoint is
+    rotated to ``<path>.prev`` before each write, so even if the latest
+    file is later found corrupt (bit rot, torn copy by an external
+    tool) the run can restart from the previous good one via
+    :func:`load_checkpoint_with_fallback`.
+
+    ``_save`` is an internal injection point used by the
+    fault-injection harness
+    (:func:`repro.resilience.faults.faulty_checkpoint_callback`).
 
     For *bit-exact* resumption, ``interval`` should be a multiple of
     the integrator's ``lambda_RPY``: the noise for a mobility block is
@@ -131,9 +284,12 @@ def checkpoint_callback(path: str | os.PathLike, integrator,
             f"lambda_RPY={integrator.lambda_rpy}; resumed trajectories "
             "will be statistically equivalent but not bit-identical",
             stacklevel=2)
+    path = os.fspath(path)
 
     def callback(step, wrapped, unwrapped):
         if step % interval == 0:
-            save_checkpoint(path, wrapped, unwrapped, step, integrator.rng)
+            if keep_previous and os.path.exists(path):
+                os.replace(path, previous_checkpoint_path(path))
+            _save(path, wrapped, unwrapped, step, integrator.rng)
 
     return callback

@@ -18,6 +18,7 @@ generated together (Section II.D).
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
@@ -27,6 +28,12 @@ from ..errors import ConfigurationError
 from ..geometry.box import Box
 from ..pme.operator import PMEOperator, PMEParams
 from ..pme.tuning import tune_parameters
+from ..resilience.failures import FailureKind, StepFailure
+from ..resilience.policy import RecoveryLog, RecoveryPolicy
+from ..resilience.recovery import (
+    cholesky_displacements_resilient,
+    krylov_displacements_resilient,
+)
 from ..rpy.ewald import EwaldSummation
 from ..units import FluidParams, REDUCED
 from ..utils.timing import PhaseTimer
@@ -53,12 +60,17 @@ class BDStepStats:
     timers:
         Phase timer with ``mobility``, ``brownian``, ``forces`` and
         ``propagate`` phases.
+    recovery:
+        The :class:`~repro.resilience.policy.RecoveryLog` of every
+        failure observed and recovery action taken during the run
+        (empty when no recovery policy is active or nothing failed).
     """
 
     n_steps: int = 0
     mobility_updates: int = 0
     krylov_iterations: list[int] = field(default_factory=list)
     timers: PhaseTimer = field(default_factory=PhaseTimer)
+    recovery: RecoveryLog = field(default_factory=RecoveryLog)
 
     @property
     def seconds_per_step(self) -> float:
@@ -86,12 +98,20 @@ class BrownianDynamicsBase(ABC):
         Mobility update interval ``lambda_RPY`` (paper: 10-100).
     seed:
         Seed (or generator) for the Brownian noise.
+    recovery:
+        Optional :class:`~repro.resilience.policy.RecoveryPolicy`
+        enabling the fault-tolerant step loop (retry/degrade ladder,
+        dt backoff on non-finite states, block rollback).  ``None``
+        (default) keeps the fail-fast behaviour; with a policy active
+        but no failures occurring, trajectories are bit-identical to
+        the unguarded loop.
     """
 
     def __init__(self, box: Box, fluid: FluidParams = REDUCED,
                  force_field: ForceField | None = None, dt: float = 1e-3,
                  lambda_rpy: int = 10,
-                 seed: int | np.random.Generator | None = 0):
+                 seed: int | np.random.Generator | None = 0,
+                 recovery: RecoveryPolicy | None = None):
         if dt <= 0:
             raise ConfigurationError(f"dt must be positive, got {dt}")
         if lambda_rpy < 1:
@@ -104,6 +124,10 @@ class BrownianDynamicsBase(ABC):
         self.lambda_rpy = int(lambda_rpy)
         self.rng = (seed if isinstance(seed, np.random.Generator)
                     else np.random.default_rng(seed))
+        self.recovery = recovery
+        #: Cumulative dt backoff scale (1.0 = nominal time step).
+        self._dt_scale = 1.0
+        self._clean_steps = 0
 
     # -- mobility interface, provided by the two algorithms --------------
 
@@ -155,32 +179,115 @@ class BrownianDynamicsBase(ABC):
         wrapped = self.box.wrap(r)
         unwrapped = wrapped.copy()
         stats = stats or BDStepStats()
+        policy = self.recovery
+        rollbacks = 0
 
         step = 0
         while step < n_steps:
             block = min(self.lambda_rpy, n_steps - step)
-            with stats.timers.phase("mobility"):
-                self._prepare(wrapped)
-            stats.mobility_updates += 1
-            with stats.timers.phase("brownian"):
-                disp = self._generate_displacements(block, stats)
-            for col in range(block):
+            if policy is not None:
+                # block-boundary snapshot: positions + RNG state, the
+                # rollback target if this block fails beyond repair
+                snapshot = (wrapped.copy(), unwrapped.copy(),
+                            self.rng.bit_generator.state, step,
+                            stats.n_steps)
+            try:
+                with stats.timers.phase("mobility"):
+                    self._prepare(wrapped)
+                stats.mobility_updates += 1
+                with stats.timers.phase("brownian"):
+                    disp = self._generate_displacements(block, stats)
+                for col in range(block):
+                    dr = self._propose_step(wrapped, disp[:, col], n,
+                                            stats, step)
+                    unwrapped += dr
+                    wrapped = self.box.wrap(wrapped + dr)
+                    step += 1
+                    stats.n_steps += 1
+                    self._after_clean_step(stats, step)
+                    if callback is not None:
+                        callback(step, wrapped, unwrapped)
+            except StepFailure as failure:
+                if policy is None or rollbacks >= policy.max_rollbacks:
+                    raise
+                rollbacks += 1
+                wrapped, unwrapped, rng_state, step, n_steps_done = snapshot
+                wrapped = wrapped.copy()
+                unwrapped = unwrapped.copy()
+                self.rng.bit_generator.state = rng_state
+                stats.n_steps = n_steps_done
+                # the backed-off dt scale is deliberately kept: a
+                # deterministic physics failure must not replay verbatim
+                stats.recovery.record(step, failure.kind, "rollback",
+                                      attempt=rollbacks,
+                                      message=str(failure))
+        return unwrapped, stats
+
+    def _propose_step(self, wrapped: np.ndarray, g_col: np.ndarray, n: int,
+                      stats: BDStepStats, step: int) -> np.ndarray:
+        """One inner-step displacement, with dt-backoff retries.
+
+        Without a recovery policy this is byte-for-byte the original
+        step arithmetic (the finite checks are skipped and the dt scale
+        is pinned at 1.0).  With a policy, a non-finite force or
+        displacement rejects the step, halves the effective dt and
+        retries; exhausting ``max_step_attempts`` (or the dt floor)
+        escalates a :class:`StepFailure` to the block-rollback handler.
+        """
+        policy = self.recovery
+        attempt = 0
+        while True:
+            try:
+                scaled = self._dt_scale != 1.0
+                g = g_col if not scaled else g_col * math.sqrt(self._dt_scale)
                 if self.force_field is not None:
                     with stats.timers.phase("forces"):
                         f = self.force_field.forces(wrapped).reshape(3 * n)
+                    if policy is not None and not np.all(np.isfinite(f)):
+                        raise StepFailure(
+                            FailureKind.NONFINITE_FORCES,
+                            "force evaluation returned non-finite entries",
+                            step=step + 1, attempt=attempt)
                     with stats.timers.phase("propagate"):
-                        drift = self._apply_mobility(f) * self.dt
-                        dr = (drift + disp[:, col]).reshape(n, 3)
+                        dt_eff = (self.dt if not scaled
+                                  else self.dt * self._dt_scale)
+                        drift = self._apply_mobility(f) * dt_eff
+                        dr = (drift + g).reshape(n, 3)
                 else:
                     with stats.timers.phase("propagate"):
-                        dr = disp[:, col].reshape(n, 3)
-                unwrapped += dr
-                wrapped = self.box.wrap(wrapped + dr)
-                step += 1
-                stats.n_steps += 1
-                if callback is not None:
-                    callback(step, wrapped, unwrapped)
-        return unwrapped, stats
+                        dr = g.reshape(n, 3)
+                if policy is not None and not np.all(np.isfinite(dr)):
+                    raise StepFailure(
+                        FailureKind.NONFINITE_STATE,
+                        "proposed displacement contains non-finite entries",
+                        step=step + 1, attempt=attempt)
+                return dr
+            except StepFailure as failure:
+                if policy is None:
+                    raise
+                stats.recovery.record(step + 1, failure.kind, "detect",
+                                      attempt=attempt)
+                attempt += 1
+                next_scale = self._dt_scale * policy.dt_backoff_factor
+                if (attempt >= policy.max_step_attempts
+                        or next_scale < policy.min_dt_scale):
+                    raise
+                self._dt_scale = next_scale
+                self._clean_steps = 0
+                stats.recovery.record(step + 1, failure.kind, "dt-backoff",
+                                      attempt=attempt,
+                                      dt_scale=self._dt_scale)
+
+    def _after_clean_step(self, stats: BDStepStats, step: int) -> None:
+        """Walk a backed-off dt back to nominal after clean steps."""
+        if self.recovery is None or self._dt_scale == 1.0:
+            return
+        self._clean_steps += 1
+        if self._clean_steps >= self.recovery.dt_recovery_steps:
+            self._clean_steps = 0
+            self._dt_scale = min(1.0, self._dt_scale * 2.0)
+            stats.recovery.record(step, FailureKind.NONFINITE_STATE,
+                                  "restore-dt", dt_scale=self._dt_scale)
 
 
 class EwaldBD(BrownianDynamicsBase):
@@ -203,8 +310,10 @@ class EwaldBD(BrownianDynamicsBase):
                  force_field: ForceField | None = None, dt: float = 1e-3,
                  lambda_rpy: int = 10,
                  seed: int | np.random.Generator | None = 0,
-                 ewald_tol: float = 1e-6, xi: float | None = None):
-        super().__init__(box, fluid, force_field, dt, lambda_rpy, seed)
+                 ewald_tol: float = 1e-6, xi: float | None = None,
+                 recovery: RecoveryPolicy | None = None):
+        super().__init__(box, fluid, force_field, dt, lambda_rpy, seed,
+                         recovery=recovery)
         self._summation = EwaldSummation(box, fluid=fluid, xi=xi,
                                          tol=ewald_tol)
         self._generator = CholeskyBrownianGenerator(fluid.kT, dt)
@@ -219,7 +328,11 @@ class EwaldBD(BrownianDynamicsBase):
     def _generate_displacements(self, n_cols: int,
                                 stats: BDStepStats) -> np.ndarray:
         z = self.rng.standard_normal((self._matrix.shape[0], n_cols))
-        return self._generator.generate(self._matrix, z)
+        if self.recovery is None:
+            return self._generator.generate(self._matrix, z)
+        return cholesky_displacements_resilient(
+            self._generator, self._matrix, z, self.recovery,
+            stats.recovery, step=stats.n_steps)
 
     def mobility_memory_bytes(self) -> int:
         if self._matrix is None:
@@ -263,8 +376,10 @@ class MatrixFreeBD(BrownianDynamicsBase):
                  seed: int | np.random.Generator | None = 0,
                  pme_params: PMEParams | None = None, target_ep: float = 1e-3,
                  e_k: float = 1e-2, store_p: bool = True,
-                 neighbor_backend: str = "cells", max_krylov_iter: int = 200):
-        super().__init__(box, fluid, force_field, dt, lambda_rpy, seed)
+                 neighbor_backend: str = "cells", max_krylov_iter: int = 200,
+                 recovery: RecoveryPolicy | None = None):
+        super().__init__(box, fluid, force_field, dt, lambda_rpy, seed,
+                         recovery=recovery)
         self.pme_params = pme_params
         self.target_ep = float(target_ep)
         self.store_p = bool(store_p)
@@ -288,8 +403,16 @@ class MatrixFreeBD(BrownianDynamicsBase):
     def _generate_displacements(self, n_cols: int,
                                 stats: BDStepStats) -> np.ndarray:
         z = self.rng.standard_normal((3 * self._operator.n, n_cols))
-        d = self._generator.generate(self._operator.apply, z)
-        stats.krylov_iterations.append(self._generator.last_info.iterations)
+        if self.recovery is None:
+            d = self._generator.generate(self._operator.apply, z)
+            stats.krylov_iterations.append(
+                self._generator.last_info.iterations)
+            return d
+        d, info = krylov_displacements_resilient(
+            self._generator, self._operator.apply, z, self.recovery,
+            stats.recovery, step=stats.n_steps)
+        stats.krylov_iterations.append(
+            info.iterations if info is not None else 0)
         return d
 
     def mobility_memory_bytes(self) -> int:

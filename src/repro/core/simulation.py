@@ -13,8 +13,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..resilience.policy import RecoveryPolicy
 from ..systems.suspension import Suspension
 from ..units import FluidParams
+from .checkpoint import checkpoint_callback
 from .forces import ForceField, RepulsiveHarmonic
 from .integrators import BDStepStats, BrownianDynamicsBase, EwaldBD, MatrixFreeBD
 
@@ -77,6 +79,11 @@ class Simulation:
         for force-free diffusion.
     dt, lambda_rpy, seed:
         Forwarded to the integrator.
+    recovery:
+        Optional :class:`~repro.resilience.policy.RecoveryPolicy`;
+        enables the fault-tolerant step loop (see
+        ``docs/robustness.md``).  The recovery log of a run is
+        available as ``stats.recovery``.
     **integrator_kwargs:
         Algorithm-specific options (``e_k``, ``target_ep``,
         ``pme_params``, ``store_p``, ``ewald_tol``, ...).
@@ -88,13 +95,14 @@ class Simulation:
                  force_field: ForceField | None = _DEFAULT_FORCE,
                  dt: float = 1e-3, lambda_rpy: int = 10,
                  seed: int | np.random.Generator | None = 0,
+                 recovery: RecoveryPolicy | None = None,
                  **integrator_kwargs):
         self.suspension = suspension
         if force_field is Simulation._DEFAULT_FORCE:
             force_field = RepulsiveHarmonic(suspension.box, suspension.fluid)
         common = dict(box=suspension.box, fluid=suspension.fluid,
                       force_field=force_field, dt=dt, lambda_rpy=lambda_rpy,
-                      seed=seed)
+                      seed=seed, recovery=recovery)
         if algorithm == "matrix-free":
             self.integrator: BrownianDynamicsBase = MatrixFreeBD(
                 **common, **integrator_kwargs)
@@ -107,7 +115,11 @@ class Simulation:
         self.algorithm = algorithm
         self._current = suspension.positions.copy()
 
-    def run(self, n_steps: int, record_interval: int = 1
+    def run(self, n_steps: int, record_interval: int = 1,
+            checkpoint_path: str | None = None,
+            checkpoint_interval: int | None = None,
+            extra_callback=None,
+            stats: BDStepStats | None = None
             ) -> tuple[Trajectory, BDStepStats]:
         """Propagate and record.
 
@@ -117,6 +129,19 @@ class Simulation:
             Inner BD steps to take.
         record_interval:
             Store every this-many-th frame (frame 0 always stored).
+        checkpoint_path:
+            Optional path for rotating crash-safe checkpoints
+            (``<path>.prev`` keeps the previous one) written every
+            ``checkpoint_interval`` steps.
+        checkpoint_interval:
+            Steps between checkpoints; defaults to the integrator's
+            ``lambda_RPY`` (the block-aligned, bit-exact choice).
+        extra_callback:
+            Optional additional ``callback(step, wrapped, unwrapped)``
+            invoked after recording (used by the fault-injection soak).
+        stats:
+            Optional pre-existing stats object to accumulate into (so
+            external callbacks can share the run's recovery log).
 
         Returns
         -------
@@ -128,17 +153,29 @@ class Simulation:
             raise ConfigurationError(
                 f"record_interval must be >= 1, got {record_interval}")
         dt = self.integrator.dt
-        frames = [self._current.copy()]
-        times = [0.0]
+        # keyed by step so a recovery rollback that replays steps simply
+        # overwrites the frames recorded before the rollback
+        frames: dict[int, np.ndarray] = {0: self._current.copy()}
+
+        ckpt = None
+        if checkpoint_path is not None:
+            interval = checkpoint_interval or self.integrator.lambda_rpy
+            ckpt = checkpoint_callback(checkpoint_path, self.integrator,
+                                       interval)
 
         def record(step, wrapped, unwrapped):
             if step % record_interval == 0:
-                frames.append(unwrapped.copy())
-                times.append(step * dt)
+                frames[step] = unwrapped.copy()
+            if ckpt is not None:
+                ckpt(step, wrapped, unwrapped)
+            if extra_callback is not None:
+                extra_callback(step, wrapped, unwrapped)
 
         final, stats = self.integrator.run(self._current, n_steps,
-                                           callback=record)
+                                           callback=record, stats=stats)
         self._current = self.suspension.box.wrap(final)
-        traj = Trajectory(np.array(times), np.array(frames),
+        steps = sorted(frames)
+        traj = Trajectory(np.array([s * dt for s in steps]),
+                          np.array([frames[s] for s in steps]),
                           self.suspension.box.length, self.suspension.fluid)
         return traj, stats

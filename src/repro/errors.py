@@ -31,15 +31,30 @@ class ConvergenceError(ReproError):
     iterations is exhausted before the relative-error stopping criterion
     ``e_k`` is met, and by the PME parameter tuner when no parameter set
     achieves the requested accuracy within the allowed mesh sizes.
+
+    The solvers attach their best partial iterate and full diagnostics
+    so recovery policies (:mod:`repro.resilience`) can degrade
+    gracefully — accept a slightly-off iterate or hand it to a fallback
+    method — instead of discarding the work already done.
     """
 
     def __init__(self, message: str, iterations: int | None = None,
-                 residual: float | None = None):
+                 residual: float | None = None,
+                 best_iterate=None, n_matvecs: int | None = None):
         super().__init__(message)
         #: Number of iterations performed before giving up (if known).
         self.iterations = iterations
         #: Last observed relative residual/error estimate (if known).
         self.residual = residual
+        #: Best (last evaluated) partial iterate, unscaled (if any).
+        self.best_iterate = best_iterate
+        #: Operator applications spent before giving up (if known).
+        self.n_matvecs = n_matvecs
+
+    @property
+    def rel_change(self) -> float | None:
+        """Alias of :attr:`residual` (the relative-update criterion)."""
+        return self.residual
 
 
 class NotPositiveDefiniteError(ReproError):
@@ -53,3 +68,15 @@ class NotPositiveDefiniteError(ReproError):
 
 class OverlapError(ReproError):
     """Particles overlap in a context where overlap is not allowed."""
+
+
+class CheckpointCorruptionError(ReproError):
+    """A checkpoint file failed its integrity check.
+
+    Raised by :func:`repro.core.checkpoint.load_checkpoint` when the
+    file is truncated, bit-flipped (embedded checksum mismatch) or not
+    a readable archive at all.  Distinct from
+    :class:`ConfigurationError` (a structurally valid file that is not
+    a repro checkpoint) so recovery code can fall back to a previous
+    checkpoint on corruption while still failing loudly on user error.
+    """

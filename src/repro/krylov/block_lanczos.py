@@ -62,7 +62,10 @@ def block_lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
     Rank deficiency of a new block (an invariant subspace) terminates
     the expansion; the current iterate is then exact on the subspace
     explored and is returned if the tolerance is met, otherwise a
-    :class:`~repro.errors.ConvergenceError` is raised.
+    :class:`~repro.errors.ConvergenceError` is raised.  The error
+    carries the best partial iterate and the full solve diagnostics
+    (``iterations``, ``rel_change``/``residual``, ``n_matvecs``) so a
+    recovery policy can degrade instead of discarding the work.
     """
     z = np.asarray(z, dtype=np.float64)
     if z.ndim != 2:
@@ -119,4 +122,5 @@ def block_lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
 
     raise ConvergenceError(
         f"block Lanczos did not reach tol={tol} in {max_iter} iterations",
-        iterations=max_iter, residual=rel_change)
+        iterations=max_iter, residual=rel_change, best_iterate=y_prev,
+        n_matvecs=n_matvecs)

@@ -91,18 +91,13 @@ def eigenvalue_bounds(matvec: Callable[[np.ndarray], np.ndarray], dim: int,
     return l_min, l_max
 
 
-def chebyshev_coefficients(l_min: float, l_max: float, tol: float = 1e-3,
-                           max_degree: int = 512
-                           ) -> np.ndarray:
-    """Chebyshev coefficients of ``sqrt`` on ``[l_min, l_max]``.
+def _best_coefficients(l_min: float, l_max: float, tol: float,
+                       max_degree: int) -> tuple[np.ndarray, float, bool]:
+    """Grow the expansion; return ``(c, err, converged)``.
 
-    The degree is grown (doubling) until the sampled relative sup-norm
-    error of the polynomial against ``sqrt`` on the interval is below
-    ``tol`` — since ``M`` is SPD with spectrum inside the interval, the
-    same bound holds for ``||p(M) - M^(1/2)||_2``.
-
-    Returns the coefficient array ``c`` with
-    ``p(x) = c_0/2 + sum_{k>=1} c_k T_k(t(x))``.
+    When even ``max_degree`` misses ``tol``, the highest-degree
+    coefficients are returned with ``converged=False`` so callers can
+    degrade to the best available polynomial instead of discarding it.
     """
     if not (0 < l_min < l_max):
         raise ValueError(f"need 0 < l_min < l_max, got [{l_min}, {l_max}]")
@@ -110,6 +105,8 @@ def chebyshev_coefficients(l_min: float, l_max: float, tol: float = 1e-3,
         1 - np.cos(np.linspace(0, np.pi, 513)))
     sqrt_probe = np.sqrt(probe)
     degree = 8
+    c = np.zeros(1)
+    err = np.inf
     while degree <= max_degree:
         nodes = np.cos((np.arange(degree + 1) + 0.5) * np.pi / (degree + 1))
         x = 0.5 * (l_max - l_min) * nodes + 0.5 * (l_max + l_min)
@@ -126,11 +123,31 @@ def chebyshev_coefficients(l_min: float, l_max: float, tol: float = 1e-3,
         approx = t * b1 - b2 + 0.5 * c[0]
         err = float(np.max(np.abs(approx - sqrt_probe) / sqrt_probe))
         if err < tol:
-            return c
+            return c, err, True
         degree *= 2
-    raise ConvergenceError(
-        f"Chebyshev degree {max_degree} insufficient for tol={tol} on "
-        f"[{l_min:.3g}, {l_max:.3g}] (condition {l_max / l_min:.3g})")
+    return c, err, False
+
+
+def chebyshev_coefficients(l_min: float, l_max: float, tol: float = 1e-3,
+                           max_degree: int = 512
+                           ) -> np.ndarray:
+    """Chebyshev coefficients of ``sqrt`` on ``[l_min, l_max]``.
+
+    The degree is grown (doubling) until the sampled relative sup-norm
+    error of the polynomial against ``sqrt`` on the interval is below
+    ``tol`` — since ``M`` is SPD with spectrum inside the interval, the
+    same bound holds for ``||p(M) - M^(1/2)||_2``.
+
+    Returns the coefficient array ``c`` with
+    ``p(x) = c_0/2 + sum_{k>=1} c_k T_k(t(x))``.
+    """
+    c, err, converged = _best_coefficients(l_min, l_max, tol, max_degree)
+    if not converged:
+        raise ConvergenceError(
+            f"Chebyshev degree {max_degree} insufficient for tol={tol} on "
+            f"[{l_min:.3g}, {l_max:.3g}] (condition {l_max / l_min:.3g})",
+            iterations=c.size - 1, residual=err)
+    return c
 
 
 def chebyshev_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
@@ -145,11 +162,17 @@ def chebyshev_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
 
     Returns ``(y, info)`` with ``info.iterations`` the polynomial
     degree and ``info.n_matvecs`` counted per column.
+
+    If the ``max_degree`` cap cannot reach ``tol``, the best available
+    polynomial is still evaluated and the raised
+    :class:`~repro.errors.ConvergenceError` carries that evaluation as
+    ``best_iterate`` (plus ``residual`` and ``n_matvecs``) so recovery
+    policies can degrade to it instead of discarding the work.
     """
     z = np.asarray(z, dtype=np.float64)
     flat = z.ndim == 1
     zb = z[:, None] if flat else z
-    c = chebyshev_coefficients(l_min, l_max, tol=tol, max_degree=max_degree)
+    c, err, converged = _best_coefficients(l_min, l_max, tol, max_degree)
     degree = c.size - 1
     s = zb.shape[1]
 
@@ -169,6 +192,12 @@ def chebyshev_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
         n_matvecs += s
     y = t_apply(b1) - b2 + 0.5 * c[0] * zb
     n_matvecs += s
-    info = LanczosInfo(iterations=degree, converged=True,
+    if not converged:
+        raise ConvergenceError(
+            f"Chebyshev degree {max_degree} insufficient for tol={tol} on "
+            f"[{l_min:.3g}, {l_max:.3g}] (condition {l_max / l_min:.3g})",
+            iterations=degree, residual=err,
+            best_iterate=(y[:, 0] if flat else y), n_matvecs=n_matvecs)
+    info = LanczosInfo(iterations=degree, converged=converged,
                        rel_change=tol, n_matvecs=n_matvecs)
     return (y[:, 0] if flat else y), info

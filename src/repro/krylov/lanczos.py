@@ -146,4 +146,5 @@ def lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray], z: np.ndarray,
 
     raise ConvergenceError(
         f"Lanczos did not reach tol={tol} in {max_iter} iterations",
-        iterations=max_iter, residual=rel_change)
+        iterations=max_iter, residual=rel_change, best_iterate=y_prev,
+        n_matvecs=n_matvecs)

@@ -1,0 +1,59 @@
+"""Fault-tolerant simulation runtime.
+
+Production-length BD runs (the paper's Fig. 3 / Fig. 8 experiments)
+must survive the failures that show up only after hours: a Lanczos
+solve that stops converging as particles crowd, a NaN force from a
+pathological overlap, a checkpoint half-written when the node dies.
+This subpackage provides
+
+* :mod:`~repro.resilience.failures` — the failure taxonomy
+  (:class:`FailureKind`, :class:`StepFailure`),
+* :mod:`~repro.resilience.policy` — :class:`RecoveryPolicy` knobs and
+  the :class:`RecoveryLog` returned in run statistics,
+* :mod:`~repro.resilience.recovery` — the retry → Chebyshev → dense
+  reference degradation ladder,
+* :mod:`~repro.resilience.faults` — the deterministic fault-injection
+  harness used by the tests and ``repro simulate --inject-faults``.
+
+``faults`` is imported lazily (it wraps concrete :mod:`repro.core`
+classes, which themselves use this package's policy types).
+"""
+
+from .failures import FailureKind, StepFailure, classify_exception
+from .policy import RecoveryEvent, RecoveryLog, RecoveryPolicy
+from .recovery import (
+    cholesky_displacements_resilient,
+    krylov_displacements_resilient,
+    materialize_operator,
+)
+
+__all__ = [
+    "FailureKind",
+    "StepFailure",
+    "classify_exception",
+    "RecoveryPolicy",
+    "RecoveryEvent",
+    "RecoveryLog",
+    "krylov_displacements_resilient",
+    "cholesky_displacements_resilient",
+    "materialize_operator",
+    "FaultSchedule",
+    "InjectedFault",
+    "FaultyForceField",
+    "FaultyOperator",
+    "FaultyKrylovGenerator",
+    "faulty_checkpoint_callback",
+    "install_faults",
+]
+
+_FAULT_NAMES = {"FaultSchedule", "InjectedFault", "FaultyForceField",
+                "FaultyOperator", "FaultyKrylovGenerator",
+                "faulty_checkpoint_callback", "install_faults"}
+
+
+def __getattr__(name):
+    if name in _FAULT_NAMES:
+        from . import faults
+
+        return getattr(faults, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,315 @@
+"""Deterministic fault injection for soak-testing the recovery layer.
+
+The harness wraps the four places a long BD run actually fails —
+force evaluation, the PME mobility operator, the Brownian displacement
+solver and checkpoint I/O — and injects faults on a *seeded, repeatable
+schedule*: the same :class:`FaultSchedule` configuration always fires
+at the same call indices, so every recovery path can be exercised by a
+regression test and every injected fault can be accounted for against
+the run's :class:`~repro.resilience.policy.RecoveryLog`.
+
+Exposed on the command line as ``repro simulate --inject-faults SPEC``
+(see :meth:`FaultSchedule.from_spec`).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.brownian import KrylovBrownianGenerator
+from ..core.checkpoint import checkpoint_callback, save_checkpoint
+from ..core.forces import ForceField
+from ..errors import ConfigurationError, ConvergenceError
+from .failures import FailureKind
+from .policy import RecoveryLog
+
+__all__ = ["FaultSchedule", "InjectedFault", "FaultyForceField",
+           "FaultyOperator", "FaultyKrylovGenerator",
+           "faulty_checkpoint_callback", "install_faults"]
+
+_SITES = ("force", "operator", "brownian", "brownian-nan", "checkpoint")
+
+
+@dataclass
+class InjectedFault:
+    """One fault the schedule actually fired."""
+
+    site: str
+    kind: str
+    call_index: int
+
+
+@dataclass
+class FaultSchedule:
+    """Seeded schedule deciding, per call site, when to inject.
+
+    Each site keeps its own call counter and its own deterministic
+    random substream, so injection at one site never perturbs the
+    schedule of another, and a recovery *retry* (which advances the
+    counter) deterministically sees a clean call.
+
+    Attributes
+    ----------
+    seed:
+        Master seed of the per-site substreams.
+    nan_force_rate, nan_operator_rate, lanczos_failure_rate,
+    nan_brownian_rate:
+        Per-call firing probabilities of the rate-driven sites.
+    force_calls, operator_calls, brownian_calls, brownian_nan_calls:
+        Explicit 0-based call indices that always fire (for targeted
+        tests), in addition to the rates.
+    checkpoint_events:
+        Map of 0-based checkpoint *write* index to ``"kill"``,
+        ``"truncate"`` or ``"bitflip"``.
+    """
+
+    seed: int = 0
+    nan_force_rate: float = 0.0
+    nan_operator_rate: float = 0.0
+    lanczos_failure_rate: float = 0.0
+    nan_brownian_rate: float = 0.0
+    force_calls: tuple[int, ...] = ()
+    operator_calls: tuple[int, ...] = ()
+    brownian_calls: tuple[int, ...] = ()
+    brownian_nan_calls: tuple[int, ...] = ()
+    checkpoint_events: dict[int, str] = field(default_factory=dict)
+    #: Every fault fired so far, in firing order.
+    injected: list[InjectedFault] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._counters = dict.fromkeys(_SITES, 0)
+        self._rngs = {site: np.random.default_rng([self.seed, i])
+                      for i, site in enumerate(_SITES)}
+        self._explicit = {
+            "force": frozenset(self.force_calls),
+            "operator": frozenset(self.operator_calls),
+            "brownian": frozenset(self.brownian_calls),
+            "brownian-nan": frozenset(self.brownian_nan_calls),
+            "checkpoint": frozenset(),
+        }
+        self._rates = {
+            "force": self.nan_force_rate,
+            "operator": self.nan_operator_rate,
+            "brownian": self.lanczos_failure_rate,
+            "brownian-nan": self.nan_brownian_rate,
+            "checkpoint": 0.0,
+        }
+        for kind in self.checkpoint_events.values():
+            if kind not in ("kill", "truncate", "bitflip"):
+                raise ConfigurationError(
+                    f"unknown checkpoint event {kind!r}; "
+                    "use kill, truncate or bitflip")
+
+    def fire(self, site: str, kind: str) -> bool:
+        """Advance ``site``'s counter; ``True`` if a fault fires now.
+
+        The random draw is made on every call (fired or not) so the
+        schedule depends only on the call index, never on what earlier
+        injections did to the simulation.
+        """
+        index = self._counters[site]
+        self._counters[site] += 1
+        hit = self._rngs[site].random() < self._rates[site]
+        if index in self._explicit[site]:
+            hit = True
+        if hit:
+            self.injected.append(InjectedFault(site, kind, index))
+        return hit
+
+    def checkpoint_event(self, write_index: int) -> str | None:
+        """The event scheduled for checkpoint write ``write_index``."""
+        event = self.checkpoint_events.get(write_index)
+        if event is not None:
+            self.injected.append(
+                InjectedFault("checkpoint", event, write_index))
+        return event
+
+    def count(self, site: str) -> int:
+        """Number of faults fired so far at ``site``."""
+        return sum(1 for f in self.injected if f.site == site)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> FaultSchedule:
+        """Parse a CLI spec like ``"seed=7,lanczos=0.01,nan-force=0.005,ckpt=kill@3"``.
+
+        Keys: ``seed`` (int), ``lanczos`` / ``nan-force`` /
+        ``nan-operator`` / ``nan-brownian`` (per-call rates), and
+        ``ckpt=EVENT@INDEX`` (repeatable).
+        """
+        kwargs: dict = {"checkpoint_events": {}}
+        keymap = {"lanczos": "lanczos_failure_rate",
+                  "nan-force": "nan_force_rate",
+                  "nan-operator": "nan_operator_rate",
+                  "nan-brownian": "nan_brownian_rate"}
+        for item in filter(None, (s.strip() for s in spec.split(","))):
+            try:
+                key, value = item.split("=", 1)
+            except ValueError:
+                raise ConfigurationError(
+                    f"malformed --inject-faults item {item!r}; "
+                    "expected key=value") from None
+            if key == "seed":
+                kwargs["seed"] = int(value)
+            elif key in keymap:
+                kwargs[keymap[key]] = float(value)
+            elif key == "ckpt":
+                try:
+                    event, index = value.split("@")
+                    kwargs["checkpoint_events"][int(index)] = event
+                except ValueError:
+                    raise ConfigurationError(
+                        f"malformed ckpt spec {value!r}; expected "
+                        "EVENT@INDEX, e.g. kill@3") from None
+            else:
+                raise ConfigurationError(
+                    f"unknown --inject-faults key {key!r}")
+        return cls(**kwargs)
+
+
+def _poison(array: np.ndarray) -> np.ndarray:
+    """Copy of ``array`` with its first entry replaced by NaN."""
+    out = np.array(array, dtype=np.float64, copy=True)
+    out.reshape(-1)[0] = np.nan
+    return out
+
+
+class FaultyForceField(ForceField):
+    """Wraps a force field, injecting NaN forces on schedule."""
+
+    def __init__(self, inner: ForceField, schedule: FaultSchedule):
+        self.inner = inner
+        self.schedule = schedule
+
+    def forces(self, positions: np.ndarray) -> np.ndarray:  # noqa: RPR001 — pass-through; the wrapped field validates
+        f = self.inner.forces(positions)
+        if self.schedule.fire("force", "nan"):
+            f = _poison(f)
+        return f
+
+    def energy(self, positions: np.ndarray) -> float:  # noqa: RPR001 — pass-through; the wrapped field validates
+        return self.inner.energy(positions)
+
+
+class FaultyOperator:
+    """Wraps a :class:`~repro.pme.operator.PMEOperator`, poisoning
+    ``apply`` outputs on schedule.  All other attributes delegate."""
+
+    def __init__(self, inner, schedule: FaultSchedule):
+        self._inner = inner
+        self._schedule = schedule
+
+    def apply(self, forces) -> np.ndarray:
+        out = self._inner.apply(forces)
+        if self._schedule.fire("operator", "nan"):
+            out = _poison(out)
+        return out
+
+    def __call__(self, forces) -> np.ndarray:
+        return self.apply(forces)
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class FaultyKrylovGenerator(KrylovBrownianGenerator):
+    """Krylov generator injecting forced non-convergence / NaN output.
+
+    A real :class:`KrylovBrownianGenerator` subclass, so the recovery
+    ladder's ``copy.copy`` retry mechanics (adjusting ``tol`` and
+    ``max_iter``) work unchanged; the copies share the schedule, and
+    the retry — being the next call at the ``brownian`` site — sees a
+    clean draw unless the schedule fires again.
+    """
+
+    def __init__(self, inner: KrylovBrownianGenerator,
+                 schedule: FaultSchedule):
+        self.scale = inner.scale
+        self.tol = inner.tol
+        self.max_iter = inner.max_iter
+        self.last_info = inner.last_info
+        self.schedule = schedule
+
+    def generate(self, matvec, z):
+        if self.schedule.fire("brownian", "nonconvergence"):
+            raise ConvergenceError(
+                "injected Lanczos non-convergence", iterations=0,
+                residual=float("inf"), n_matvecs=0)
+        d = super().generate(matvec, z)
+        if self.schedule.fire("brownian-nan", "nan"):
+            d = _poison(d)
+        return d
+
+
+def faulty_checkpoint_callback(path: str | os.PathLike, integrator,
+                               interval: int, schedule: FaultSchedule,
+                               log: RecoveryLog | None = None):
+    """A rotating checkpoint callback with scheduled write faults.
+
+    * ``kill`` — the process "dies" between writing the temp file and
+      the atomic rename: nothing reaches ``path`` (the previous
+      checkpoint stays valid — exactly what the atomic
+      :func:`~repro.core.checkpoint.save_checkpoint` guarantees).
+    * ``truncate`` — the finished file is cut to 60 % of its length.
+    * ``bitflip`` — one byte in the middle of the file is flipped.
+    """
+    state = {"writes": 0}
+
+    def save(p, wrapped, unwrapped, step, rng):
+        event = schedule.checkpoint_event(state["writes"])
+        state["writes"] += 1
+        if event == "kill":
+            if log is not None:
+                log.record(step, FailureKind.CHECKPOINT_CORRUPTION,
+                           "inject-checkpoint-kill",
+                           write_index=state["writes"] - 1)
+            return  # simulated mid-write death: path is never replaced
+        save_checkpoint(p, wrapped, unwrapped, step, rng)
+        if event in ("truncate", "bitflip"):
+            if log is not None:
+                log.record(step, FailureKind.CHECKPOINT_CORRUPTION,
+                           f"inject-checkpoint-{event}",
+                           write_index=state["writes"] - 1)
+            _corrupt_file(p, event)
+
+    return checkpoint_callback(path, integrator, interval, _save=save)
+
+
+def _corrupt_file(path: str | os.PathLike, event: str) -> None:
+    size = os.path.getsize(path)
+    if event == "truncate":
+        with open(path, "r+b") as fh:
+            fh.truncate(max(1, int(size * 0.6)))
+    else:  # bitflip
+        with open(path, "r+b") as fh:
+            fh.seek(size // 2)
+            byte = fh.read(1)
+            fh.seek(size // 2)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+
+
+def install_faults(integrator, schedule: FaultSchedule) -> None:
+    """Thread a schedule through an integrator's fault sites, in place.
+
+    Wraps the force field and — for the matrix-free algorithm — the
+    Brownian generator; the PME operator is wrapped on every rebuild
+    via ``_prepare``.  Checkpoint faults are separate
+    (:func:`faulty_checkpoint_callback`), since checkpointing is a
+    callback concern.
+    """
+    if integrator.force_field is not None:
+        integrator.force_field = FaultyForceField(integrator.force_field,
+                                                  schedule)
+    generator = getattr(integrator, "_generator", None)
+    if isinstance(generator, KrylovBrownianGenerator):
+        integrator._generator = FaultyKrylovGenerator(generator, schedule)
+        inner_prepare = integrator._prepare
+
+        def prepare(positions):  # noqa: RPR001 — pass-through; _prepare validates
+            inner_prepare(positions)
+            integrator._operator = FaultyOperator(integrator._operator,
+                                                  schedule)
+
+        integrator._prepare = prepare

@@ -127,7 +127,8 @@ class EwaldSummation:
     # ------------------------------------------------------------------
 
     @positions_arg()
-    @returns_spd("Ewald-summed periodic RPY mobility matrix")
+    @returns_spd("Ewald-summed periodic RPY mobility matrix",
+                 unless=lambda self: self.kernel != "rpy")
     def matrix(self, positions) -> np.ndarray:
         """Build the dense ``3n x 3n`` periodic RPY mobility matrix.
 

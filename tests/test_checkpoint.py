@@ -1,16 +1,20 @@
 """Tests for simulation checkpointing and bit-exact resumption."""
 
+import pathlib
+
 import numpy as np
 import pytest
 
 from repro.core.checkpoint import (
     checkpoint_callback,
     load_checkpoint,
+    load_checkpoint_with_fallback,
+    previous_checkpoint_path,
     resume,
     save_checkpoint,
 )
 from repro.core.integrators import MatrixFreeBD
-from repro.errors import ConfigurationError
+from repro.errors import CheckpointCorruptionError, ConfigurationError
 from repro.pme.operator import PMEParams
 from repro.systems import random_suspension
 
@@ -82,3 +86,137 @@ def test_interval_validation(tmp_path):
     bd = _integrator(susp)
     with pytest.raises(ConfigurationError):
         checkpoint_callback(tmp_path / "c.npz", bd, 0)
+
+
+# ---------------------------------------------------------------------------
+# corruption detection, atomic writes, rotation and fallback
+# ---------------------------------------------------------------------------
+
+def _write_checkpoint(path, step=7, seed=123):
+    rng = np.random.default_rng(seed)
+    wrapped = rng.random((4, 3))
+    save_checkpoint(path, wrapped, wrapped + 1.0, step, rng)
+    return path
+
+
+def test_truncated_checkpoint_raises_corruption(tmp_path):
+    path = _write_checkpoint(tmp_path / "c.npz")
+    size = path.stat().st_size
+    with open(path, "r+b") as fh:
+        fh.truncate(size // 2)
+    with pytest.raises(CheckpointCorruptionError):
+        load_checkpoint(path)
+
+
+def test_bitflipped_checkpoint_fails_checksum(tmp_path):
+    import struct
+    import zipfile
+
+    path = _write_checkpoint(tmp_path / "c.npz")
+    with zipfile.ZipFile(path) as archive:
+        info = archive.getinfo("wrapped.npy")
+    raw = bytearray(path.read_bytes())
+    # flip one byte inside the wrapped-positions member's data: the
+    # deflate stream / zip CRC breaks, or — were the byte to survive
+    # decompression — the embedded SHA-256 catches the altered payload
+    name_len, extra_len = struct.unpack_from("<HH", raw,
+                                             info.header_offset + 26)
+    data_start = info.header_offset + 30 + name_len + extra_len
+    raw[data_start + info.compress_size // 2] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    with pytest.raises(CheckpointCorruptionError):
+        load_checkpoint(path)
+
+
+def test_missing_checksum_rejected(tmp_path):
+    # a version-2 archive without a checksum member is not a checkpoint
+    path = tmp_path / "c.npz"
+    np.savez(path, format_version=2, wrapped=np.zeros((2, 3)),
+             unwrapped=np.zeros((2, 3)), step=1,
+             rng_state=np.frombuffer(b"{}", dtype=np.uint8))
+    with pytest.raises(ConfigurationError):
+        load_checkpoint(path)
+
+
+def test_save_is_atomic_on_write_failure(tmp_path, monkeypatch):
+    path = _write_checkpoint(tmp_path / "c.npz", step=1)
+    before = path.read_bytes()
+
+    def exploding_savez(*args, **kwargs):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(np, "savez_compressed", exploding_savez)
+    rng = np.random.default_rng(0)
+    with pytest.raises(OSError):
+        save_checkpoint(path, np.ones((2, 3)), np.ones((2, 3)), 2, rng)
+    # the old checkpoint is untouched and no temp files leak
+    assert path.read_bytes() == before
+    assert [p.name for p in tmp_path.iterdir()] == ["c.npz"]
+    _, _, step, _ = load_checkpoint(path)
+    assert step == 1
+
+
+def test_callback_rotates_previous_checkpoint(tmp_path):
+    susp = random_suspension(16, 0.1, seed=6)
+    bd = _integrator(susp)
+    path = tmp_path / "c.npz"
+    bd.run(susp.positions, 8, callback=checkpoint_callback(path, bd, 4))
+    prev = pathlib.Path(previous_checkpoint_path(path))
+    assert path.exists() and prev.exists()
+    _, _, latest_step, _ = load_checkpoint(path)
+    _, _, prev_step, _ = load_checkpoint(prev)
+    assert (latest_step, prev_step) == (8, 4)
+
+
+def test_fallback_loads_previous_when_latest_corrupt(tmp_path):
+    path = tmp_path / "c.npz"
+    _write_checkpoint(tmp_path / (path.name + ".prev"), step=4)
+    _write_checkpoint(path, step=8)
+    with open(path, "r+b") as fh:
+        fh.truncate(10)
+
+    wrapped, unwrapped, step, rng, used = load_checkpoint_with_fallback(path)
+    assert step == 4
+    assert used.endswith(".prev")
+
+
+def test_fallback_raises_primary_error_when_both_corrupt(tmp_path):
+    path = tmp_path / "c.npz"
+    for p in (tmp_path / (path.name + ".prev"), path):
+        _write_checkpoint(p)
+        with open(p, "r+b") as fh:
+            fh.truncate(10)
+    with pytest.raises(CheckpointCorruptionError) as exc_info:
+        load_checkpoint_with_fallback(path)
+    assert "c.npz" in str(exc_info.value)
+    assert isinstance(exc_info.value.__cause__, CheckpointCorruptionError)
+
+
+def test_resume_falls_back_to_rotated_checkpoint(tmp_path):
+    susp = random_suspension(16, 0.1, seed=9)
+    bd = _integrator(susp)
+    path = tmp_path / "c.npz"
+    bd.run(susp.positions, 8, callback=checkpoint_callback(path, bd, 4))
+    with open(path, "r+b") as fh:       # corrupt the latest (step 8)
+        fh.truncate(20)
+    bd2 = _integrator(susp, seed=999)
+    final, stats = resume(path, bd2, 4)  # resumes from step 4 instead
+    assert np.all(np.isfinite(final))
+    with pytest.raises(CheckpointCorruptionError):
+        resume(path, _integrator(susp), 4, fallback=False)
+
+
+def test_version1_checkpoint_still_loads(tmp_path):
+    # forward-compat: archives written before checksums were added
+    import json
+
+    rng = np.random.default_rng(5)
+    state = json.dumps(rng.bit_generator.state)
+    path = tmp_path / "old.npz"
+    np.savez(path, format_version=1, wrapped=np.zeros((2, 3)),
+             unwrapped=np.zeros((2, 3)), step=3,
+             rng_state=np.frombuffer(state.encode(), dtype=np.uint8))
+    wrapped, unwrapped, step, rng2 = load_checkpoint(path)
+    assert step == 3
+    np.testing.assert_array_equal(rng2.standard_normal(4),
+                                  rng.standard_normal(4))

@@ -82,6 +82,22 @@ def test_oseen_not_positive_definite_at_close_range():
     assert np.linalg.eigvalsh(m_rpy).min() > 0
 
 
+def test_oseen_matrix_exempt_from_strict_spd_gate(monkeypatch):
+    # the strict-mode SPD return contract must not reject the Oseen
+    # kernel: its indefiniteness at close range is correct physics,
+    # not a bug the contract should catch
+    monkeypatch.setenv("REPRO_CHECKS", "strict")
+    box = Box(20.0)
+    r = np.array([[5.0, 5.0, 5.0], [6.2, 5.0, 5.0]])
+    m_oseen = EwaldSummation(box, tol=1e-8, kernel="oseen").matrix(r)
+    assert np.linalg.eigvalsh(m_oseen).min() < 0
+    with pytest.raises(ConfigurationError, match="positive definite"):
+        # the RPY kernel keeps the gate: force a non-SPD return by
+        # checking the close-range *Oseen* matrix through it
+        from repro.lint.contracts import _check_spd
+        _check_spd(m_oseen, "gate check")
+
+
 def test_oseen_pme_matches_dense():
     rng = np.random.default_rng(9)
     n = 40
