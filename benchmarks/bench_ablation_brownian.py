@@ -15,7 +15,13 @@ Run ``python benchmarks/bench_ablation_brownian.py`` for the table.
 
 import numpy as np
 
-from repro.bench import bench_scale, cached_suspension, measure_seconds, print_table
+from repro.bench import (
+    bench_scale,
+    cached_suspension,
+    measure_seconds,
+    print_table,
+    record_benchmark,
+)
 from repro.core.brownian import (
     ChebyshevBrownianGenerator,
     CholeskyBrownianGenerator,
@@ -41,20 +47,22 @@ def experiment_rows(n=None):
     rows = []
 
     t = measure_seconds(
-        lambda: CholeskyBrownianGenerator(kT, dt).generate(mobility, z))
+        lambda: CholeskyBrownianGenerator(kT, dt).generate(mobility, z)).best
     # Cholesky samples a different (equally valid) square root; its
     # "error" column is not comparable and is reported as n/a
     rows.append(["Cholesky (dense)", "n/a (needs matrix)", t, "n/a"])
 
     kry = KrylovBrownianGenerator(kT, dt, tol=TOL)
-    t = measure_seconds(lambda: kry.generate(lambda v: mobility @ v, z))
+    t = measure_seconds(
+        lambda: kry.generate(lambda v: mobility @ v, z)).best
     y = kry.generate(lambda v: mobility @ v, z)
     err = np.linalg.norm(y / scale - ref) / np.linalg.norm(ref)
     rows.append(["block Krylov (paper)", kry.last_info.n_matvecs, t,
                  f"{err:.1e}"])
 
     cheb = ChebyshevBrownianGenerator(kT, dt, tol=TOL)
-    t = measure_seconds(lambda: cheb.generate(lambda v: mobility @ v, z))
+    t = measure_seconds(
+        lambda: cheb.generate(lambda v: mobility @ v, z)).best
     y = cheb.generate(lambda v: mobility @ v, z)
     err = np.linalg.norm(y / scale - ref) / np.linalg.norm(ref)
     rows.append(["Chebyshev (Fixman)", cheb.last_info.n_matvecs, t,
@@ -64,11 +72,13 @@ def experiment_rows(n=None):
 
 def main():
     rows = experiment_rows()
+    headers = ["method", "operator applications", "wall (s)", "rel error"]
     print_table(
         f"Ablation: Brownian displacement methods ({N_VECTORS} vectors, "
         f"tol={TOL})",
-        ["method", "operator applications", "wall (s)", "rel error"],
-        rows)
+        headers, rows)
+    record_benchmark("ablation_brownian", headers, rows,
+                     meta={"tol": TOL, "n_vectors": N_VECTORS})
 
 
 def test_krylov_generator(benchmark):

@@ -17,7 +17,13 @@ Run ``python benchmarks/bench_ablation_coloring.py`` for the table.
 
 import numpy as np
 
-from repro.bench import bench_scale, cached_suspension, measure_seconds, print_table
+from repro.bench import (
+    bench_scale,
+    cached_suspension,
+    measure_seconds,
+    print_table,
+    record_benchmark,
+)
 from repro.parallel.coloring import ColoredSpreader
 from repro.parallel.threads import ThreadedSpreader
 from repro.pme.spread import InterpolationMatrix
@@ -48,7 +54,7 @@ def experiment_rows(n=None):
              colored.spread(f)),
             ("8-color + threads", lambda: threaded.spread(f),
              threaded.spread(f))):
-        t = measure_seconds(fn, repeats=3, warmup=1)
+        t = measure_seconds(fn, repeats=3, warmup=1).best
         max_dev = float(np.abs(result - reference).max())
         rows.append([name, t, f"{max_dev:.1e}"])
     return rows, colored
@@ -56,9 +62,10 @@ def experiment_rows(n=None):
 
 def main():
     rows, colored = experiment_rows()
+    headers = ["strategy", "t (s)", "max deviation"]
     print_table("Ablation: spreading strategies (identical results "
                 "required)",
-                ["strategy", "t (s)", "max deviation"], rows)
+                headers, rows)
     disjoint = all(
         not np.intersect1d(a, b).size
         for c in range(colored.n_colors)
@@ -66,6 +73,8 @@ def main():
         for b in colored.block_footprints(c)[idx + 1:])
     print(f"per-color block write footprints disjoint: {disjoint} "
           "(the schedule's race-freedom invariant)")
+    record_benchmark("ablation_coloring", headers, rows,
+                     meta={"footprints_disjoint": bool(disjoint)})
 
 
 def test_sparse_spreading(benchmark):

@@ -14,7 +14,13 @@ Run ``python benchmarks/bench_ablation_decomposition.py`` for the table.
 
 import numpy as np
 
-from repro.bench import bench_scale, cached_suspension, measure_seconds, print_table
+from repro.bench import (
+    bench_scale,
+    cached_suspension,
+    measure_seconds,
+    print_table,
+    record_benchmark,
+)
 from repro.parallel.decomposition import SlabDecomposition, distributed_real_space_matrix
 from repro.pme.realspace import RealSpaceOperator
 
@@ -34,7 +40,7 @@ def experiment_rows(n=None):
                        for k in range(d)]
         t = measure_seconds(
             lambda: distributed_real_space_matrix(r, box, XI, R_MAX, d),
-            repeats=2)
+            repeats=2).best
         balance = (max(pair_counts) / (sum(pair_counts) / d)
                    if sum(pair_counts) else 1.0)
         rows.append([d, t, halo / n, round(balance, 2)])
@@ -43,13 +49,15 @@ def experiment_rows(n=None):
 
 def main():
     rows = experiment_rows()
+    headers = ["domains", "t build (s)", "halo fraction", "load imbalance"]
     print_table(
         "Ablation: slab-decomposed real-space build "
         f"(r_max={R_MAX}, serial execution of the distributed schedule)",
-        ["domains", "t build (s)", "halo fraction", "load imbalance"],
-        rows)
+        headers, rows)
     print("halo fraction = replicated particles per owned particle; "
           "imbalance = max/mean pairs.")
+    record_benchmark("ablation_decomposition", headers, rows,
+                     meta={"xi": XI, "r_max": R_MAX})
 
 
 def test_distributed_build(benchmark):

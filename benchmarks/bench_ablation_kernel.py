@@ -18,7 +18,7 @@ Run ``python benchmarks/bench_ablation_kernel.py`` for the table.
 import numpy as np
 
 from repro import Box, PMEOperator, PMEParams
-from repro.bench import measure_seconds, print_table
+from repro.bench import measure_seconds, print_table, record_benchmark
 from repro.rpy.ewald import EwaldSummation
 from repro.systems import make_suspension
 
@@ -32,7 +32,7 @@ def timing_rows(n=400):
         op = PMEOperator(susp.positions, susp.box,
                          PMEParams(xi=1.0, r_max=4.0, K=48, p=6,
                                    kernel=kernel))
-        t = measure_seconds(lambda: op.apply(f), repeats=3, warmup=1)
+        t = measure_seconds(lambda: op.apply(f), repeats=3, warmup=1).best
         rows.append([kernel, t])
     return rows
 
@@ -52,12 +52,16 @@ def definiteness_rows():
 
 
 def main():
+    t_rows = timing_rows()
+    d_rows = definiteness_rows()
     print_table("Ablation: PME application cost per kernel (n=400, K=48, "
                 "p=6)",
-                ["kernel", "t apply (s)"], timing_rows())
+                ["kernel", "t apply (s)"], t_rows)
     print_table("Ablation: minimum mobility eigenvalue vs pair separation",
                 ["separation (a)", "min eig RPY", "min eig Oseen"],
-                definiteness_rows())
+                d_rows)
+    record_benchmark("ablation_kernel", ["kernel", "t apply (s)"], t_rows,
+                     meta={"definiteness_rows": d_rows})
     print("RPY stays positive definite at any separation (Brownian "
           "displacements always\ndefined); the Oseen kernel goes "
           "indefinite near contact — the reason the paper\nbuilds PME "

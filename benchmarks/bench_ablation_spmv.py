@@ -18,7 +18,13 @@ Run ``python benchmarks/bench_ablation_spmv.py`` for the tables.
 
 import numpy as np
 
-from repro.bench import bench_scale, cached_suspension, measure_seconds, print_table
+from repro.bench import (
+    bench_scale,
+    cached_suspension,
+    measure_seconds,
+    print_table,
+    record_benchmark,
+)
 from repro.pme.realspace import RealSpaceOperator
 
 R_MAX = 4.0
@@ -40,7 +46,8 @@ def multi_rhs_rows(n=None):
         _, op = _operator(n, engine=engine)
         for s in (1, 4, 16):
             f = np.random.default_rng(0).standard_normal((3 * n, s))
-            t = measure_seconds(lambda: op.apply(f), repeats=3, warmup=1)
+            t = measure_seconds(lambda: op.apply(f), repeats=3,
+                                warmup=1).best
             rows.append([engine, s, t, t / s])
     return rows
 
@@ -55,20 +62,27 @@ def construction_rows(n=None):
             lambda: RealSpaceOperator(susp.positions, susp.box, XI,
                                       min(R_MAX, susp.box.length / 2),
                                       neighbor_backend=backend),
-            repeats=2)
+            repeats=2).best
         rows.append([backend, n, t])
     return rows
 
 
 def main():
+    rhs_rows = multi_rhs_rows()
+    build_rows = construction_rows()
     print_table("Ablation: real-space SpMV, per-vector cost vs block width",
                 ["engine", "block width s", "t block (s)",
                  "t per vector (s)"],
-                multi_rhs_rows())
+                rhs_rows)
     print_table("Ablation: real-space operator construction by neighbor "
                 "backend",
                 ["backend", "n", "t build (s)"],
-                construction_rows())
+                build_rows)
+    record_benchmark("ablation_spmv",
+                     ["engine", "block width s", "t block (s)",
+                      "t per vector (s)"],
+                     rhs_rows,
+                     meta={"construction_rows": build_rows})
 
 
 def test_scipy_engine_block_spmv(benchmark):

@@ -25,7 +25,7 @@ Run ``python benchmarks/bench_fig3_diffusion.py`` for the table.
 
 from repro import Simulation, diffusion_coefficient
 from repro.analysis import finite_size_correction, short_time_self_diffusion
-from repro.bench import bench_scale, print_table
+from repro.bench import bench_scale, print_table, record_benchmark
 from repro.systems import make_suspension
 
 LAMBDA_RPY = 16
@@ -59,12 +59,15 @@ def experiment_rows(phis=None, n=None, n_steps=None, lag=None, seed=3):
 def main():
     rows = experiment_rows()
     lag = 200 if bench_scale() == "paper" else 40
+    headers = ["Phi", "D(tau->0) meas", "RPY zero-lag theory",
+               f"D(tau={lag * DT:g}) meas", "virial x FS reference"]
     print_table(
         "Fig. 3: diffusion coefficients vs volume fraction "
         f"(matrix-free BD, e_k={E_K}, e_p<={TARGET_EP})",
-        ["Phi", "D(tau->0) meas", "RPY zero-lag theory",
-         f"D(tau={lag * DT:g}) meas", "virial x FS reference"],
-        rows)
+        headers, rows)
+    record_benchmark("fig3_diffusion", headers, rows,
+                     meta={"e_k": E_K, "target_ep": TARGET_EP, "dt": DT,
+                           "lambda_rpy": LAMBDA_RPY, "lag_frames": lag})
     print("zero-lag column must match its theory (config-independent RPY "
           "diagonal);\nfinite-lag column decreases with Phi (the paper's "
           "Fig. 3 trend).")

@@ -16,7 +16,13 @@ Run ``python benchmarks/bench_fig4_precompute_p.py`` for the table.
 import numpy as np
 
 from repro import PMEOperator, tune_parameters
-from repro.bench import bench_scale, cached_suspension, measure_seconds, print_table
+from repro.bench import (
+    bench_scale,
+    cached_suspension,
+    measure_seconds,
+    print_table,
+    record_benchmark,
+)
 
 CI_COUNTS = [500, 1000, 2000, 4000]
 PAPER_COUNTS = [1000, 5000, 10000, 50000, 80000, 200000, 500000]
@@ -39,9 +45,9 @@ def experiment_rows(counts=None):
         susp, params, stored, fly = _operators(n)
         f = np.random.default_rng(0).standard_normal(3 * n)
         t_stored = measure_seconds(lambda: stored.apply_reciprocal(f),
-                                   repeats=3, warmup=1)
+                                   repeats=3, warmup=1).best
         t_fly = measure_seconds(lambda: fly.apply_reciprocal(f),
-                                repeats=3, warmup=1)
+                                repeats=3, warmup=1).best
         ratio = params.p ** 3 * n / params.K ** 3
         rows.append([n, params.K, params.p, round(ratio, 2),
                      t_stored, t_fly, t_fly / t_stored])
@@ -50,13 +56,15 @@ def experiment_rows(counts=None):
 
 def main():
     rows = experiment_rows()
+    headers = ["n", "K", "p", "p^3 n/K^3", "t stored (s)",
+               "t on-the-fly (s)", "speedup"]
     print_table(
         "Fig. 4: reciprocal-space PME, precomputed P vs on-the-fly",
-        ["n", "K", "p", "p^3 n/K^3", "t stored (s)", "t on-the-fly (s)",
-         "speedup"],
-        rows)
+        headers, rows)
     speedups = [r[-1] for r in rows]
     print(f"mean speedup from precomputing P: {np.mean(speedups):.2f}x")
+    record_benchmark("fig4_precompute_p", headers, rows,
+                     meta={"mean_speedup": float(np.mean(speedups))})
 
 
 def test_precomputed_p_application(benchmark):

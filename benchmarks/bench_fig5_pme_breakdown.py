@@ -20,7 +20,7 @@ Run ``python benchmarks/bench_fig5_pme_breakdown.py`` for the tables.
 import numpy as np
 
 from repro import PMEOperator, PMEParams
-from repro.bench import bench_scale, cached_suspension, print_table
+from repro.bench import bench_scale, cached_suspension, print_table, record_benchmark
 from repro.perfmodel import HOST, PMECostModel
 
 PHASES = ["spread", "fft", "influence", "ifft", "interpolate"]
@@ -83,10 +83,16 @@ def main():
                 "measured seconds",
                 ["K"] + PHASES + ["total"], rows_b)
     ns = [r[0] for r in rows_a]
+    overlay = model_rows(ns, [K] * len(ns))
     print_table("Fig. 5 overlay: Section IV.D model with the host "
                 "machine description (seconds)",
-                ["n", "K"] + PHASES + ["total"],
-                model_rows(ns, [K] * len(ns)))
+                ["n", "K"] + PHASES + ["total"], overlay)
+    record_benchmark("fig5_pme_breakdown",
+                     ["sweep", "n_or_K"] + PHASES + ["total"],
+                     [["particles"] + r for r in rows_a]
+                     + [["mesh"] + r for r in rows_b],
+                     meta={"K_fixed": K, "n_fixed": n, "p": 6,
+                           "model_overlay_rows": overlay})
 
 
 def test_reciprocal_application(benchmark):

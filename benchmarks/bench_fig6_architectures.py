@@ -18,7 +18,7 @@ Run ``python benchmarks/bench_fig6_architectures.py`` for the table.
 import numpy as np
 
 from repro import Box, tune_parameters
-from repro.bench import bench_scale, print_table
+from repro.bench import bench_scale, print_table, record_benchmark
 from repro.perfmodel import PMECostModel, WESTMERE_EP, XEON_PHI_KNC
 
 CI_COUNTS = [500, 1000, 5000, 20000, 100000, 500000]
@@ -43,11 +43,12 @@ def experiment_rows(counts=None):
 
 def main():
     rows = experiment_rows()
+    headers = ["n", "K", "t Westmere (s)", "t KNC (s)", "KNC speedup"]
     print_table(
         "Fig. 6: reciprocal PME, Westmere-EP vs KNC (modeled, Eq. 10 + "
         "Table I)",
-        ["n", "K", "t Westmere (s)", "t KNC (s)", "KNC speedup"],
-        rows)
+        headers, rows)
+    record_benchmark("fig6_architectures", headers, rows)
 
 
 def test_model_comparison_shape(benchmark):

@@ -16,7 +16,13 @@ import math
 
 import numpy as np
 
-from repro.bench import bench_scale, cached_suspension, measure_seconds, print_table
+from repro.bench import (
+    bench_scale,
+    cached_suspension,
+    measure_seconds,
+    print_table,
+    record_benchmark,
+)
 from repro.core.integrators import MatrixFreeBD
 
 CI_COUNTS = [500, 1000, 2000, 5000]
@@ -35,7 +41,7 @@ def experiment_rows(counts=None):
                           dt=1e-3, lambda_rpy=LAMBDA_RPY, seed=0,
                           target_ep=1e-3, e_k=1e-2)
         t = measure_seconds(
-            lambda: bd.run(susp.positions, LAMBDA_RPY)) / LAMBDA_RPY
+            lambda: bd.run(susp.positions, LAMBDA_RPY)).best / LAMBDA_RPY
         normalized = t / (n * math.log(n)) * 1e6
         rows.append([n, bd.operator.params.K, t, normalized])
     return rows
@@ -43,11 +49,13 @@ def experiment_rows(counts=None):
 
 def main():
     rows = experiment_rows()
+    headers = ["n", "K", "s/step", "s/step/(n ln n) x1e6"]
     print_table(
         "Fig. 8: matrix-free BD seconds per step vs n (lambda_RPY="
         f"{LAMBDA_RPY})",
-        ["n", "K", "s/step", "s/step/(n ln n) x1e6"],
-        rows)
+        headers, rows)
+    record_benchmark("fig8_large_scale", headers, rows,
+                     meta={"lambda_rpy": LAMBDA_RPY})
     norms = [r[3] for r in rows]
     print("near-constant normalized column confirms O(n log n): "
           f"spread {max(norms) / min(norms):.2f}x across "

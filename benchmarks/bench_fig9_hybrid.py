@@ -17,7 +17,7 @@ Run ``python benchmarks/bench_fig9_hybrid.py`` for the table.
 import numpy as np
 
 from repro import Box, PMEOperator, tune_parameters
-from repro.bench import bench_scale, cached_suspension, print_table
+from repro.bench import bench_scale, cached_suspension, print_table, record_benchmark
 from repro.parallel.hybrid import HybridScheduler
 
 CI_COUNTS = [1000, 5000, 20000, 100000, 500000]
@@ -45,15 +45,18 @@ def experiment_rows(counts=None):
 
 def main():
     rows = experiment_rows()
+    headers = ["n", "K", "vectors cpu/knc0/knc1", "cpu-only (s)",
+               "hybrid (s)", "speedup"]
     print_table(
         f"Fig. 9: hybrid CPU+2xKNC vs CPU-only, block of {LAMBDA_RPY} PME "
         "vectors (modeled schedule)",
-        ["n", "K", "vectors cpu/knc0/knc1", "cpu-only (s)", "hybrid (s)",
-         "speedup"],
-        rows)
+        headers, rows)
     speedups = [r[-1] for r in rows]
     print(f"mean speedup {np.mean(speedups):.2f}x, "
           f"max {max(speedups):.2f}x")
+    record_benchmark("fig9_hybrid", headers, rows,
+                     meta={"lambda_rpy": LAMBDA_RPY,
+                           "mean_speedup": float(np.mean(speedups))})
 
 
 def test_hybrid_execution_correct_and_timed(benchmark):

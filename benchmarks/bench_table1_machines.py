@@ -9,7 +9,7 @@ scheduler's inner loop, so it must be cheap).
 Run ``python benchmarks/bench_table1_machines.py`` for the table.
 """
 
-from repro.bench import print_table
+from repro.bench import print_table, record_benchmark
 from repro.perfmodel import PMECostModel, WESTMERE_EP, XEON_PHI_KNC
 
 
@@ -25,10 +25,12 @@ def table_rows():
 
 
 def main():
-    print_table(
-        "Table I: architectural parameters (model inputs)",
-        ["machine", "GHz", "cores/threads", "DP GF/s", "STREAM GB/s", "GB"],
-        table_rows())
+    headers = ["machine", "GHz", "cores/threads", "DP GF/s",
+               "STREAM GB/s", "GB"]
+    rows = table_rows()
+    print_table("Table I: architectural parameters (model inputs)",
+                headers, rows)
+    record_benchmark("table1_machines", headers, rows)
 
 
 def test_cost_model_evaluation_speed(benchmark):

@@ -18,7 +18,7 @@ Run ``python benchmarks/bench_table2_accuracy.py`` for the table.
 import numpy as np
 
 from repro import Simulation, diffusion_coefficient
-from repro.bench import bench_scale, print_table
+from repro.bench import bench_scale, print_table, record_benchmark
 from repro.systems import make_suspension
 
 SETTINGS = [  # (e_k, target e_p) — Table II columns
@@ -67,6 +67,9 @@ def main():
     loose_over_tight = np.mean([r[2] / r[-1] for r in rows])
     print(f"tight/loose cost ratio: {loose_over_tight:.1f}x "
           "(paper: > 8x on 24 threads)")
+    record_benchmark("table2_accuracy", headers, rows,
+                     meta={"settings": SETTINGS,
+                           "tight_loose_ratio": float(loose_over_tight)})
 
 
 def test_loose_tolerance_step(benchmark):

@@ -12,7 +12,7 @@ Run ``python benchmarks/bench_table3_configs.py`` for the table.
 import numpy as np
 
 from repro import Box, PMEOperator, pme_relative_error, tune_parameters
-from repro.bench import bench_scale, print_table
+from repro.bench import bench_scale, print_table, record_benchmark
 
 TARGET_EP = 1e-3
 PHI = 0.2
@@ -43,10 +43,13 @@ def table_rows(counts=None):
 
 
 def main():
+    headers = ["n", "K", "p", "r_max", "alpha", "measured e_p"]
+    rows = table_rows()
     print_table(
         f"Table III: tuned PME configurations (Phi={PHI}, e_p<{TARGET_EP})",
-        ["n", "K", "p", "r_max", "alpha", "measured e_p"],
-        table_rows())
+        headers, rows)
+    record_benchmark("table3_configs", headers, rows,
+                     meta={"phi": PHI, "target_ep": TARGET_EP})
 
 
 def test_tuning_speed(benchmark):

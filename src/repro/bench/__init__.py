@@ -8,6 +8,7 @@ construction, wall-clock measurement and aligned-table printing.
 """
 
 from .harness import (
+    TimingStats,
     bench_scale,
     cached_suspension,
     format_bytes,
@@ -15,12 +16,16 @@ from .harness import (
     measure_seconds,
     print_table,
 )
+from .record import bench_output_dir, record_benchmark
 
 __all__ = [
+    "TimingStats",
     "bench_scale",
+    "bench_output_dir",
     "cached_suspension",
     "format_bytes",
     "format_table",
     "measure_seconds",
     "print_table",
+    "record_benchmark",
 ]

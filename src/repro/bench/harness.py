@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from functools import lru_cache
+from typing import NamedTuple
 
 from ..systems.suspension import Suspension, make_suspension
 
 __all__ = ["bench_scale", "cached_suspension", "measure_seconds",
-           "format_table", "print_table", "format_bytes"]
+           "TimingStats", "format_table", "print_table", "format_bytes"]
 
 
 def bench_scale() -> str:
@@ -33,16 +35,39 @@ def cached_suspension(n: int, volume_fraction: float = 0.2,
     return make_suspension(n, volume_fraction, seed=seed)
 
 
-def measure_seconds(fn, repeats: int = 1, warmup: int = 0) -> float:
-    """Best-of-``repeats`` wall-clock seconds of ``fn()``."""
+class TimingStats(NamedTuple):
+    """Wall-clock statistics of a repeated measurement.
+
+    ``best`` is the headline number (least-noise estimate, the value
+    the old scalar ``measure_seconds`` returned); ``mean`` and ``std``
+    quantify run-to-run spread for the machine-readable benchmark
+    records.
+    """
+
+    best: float
+    mean: float
+    std: float
+    repeats: int
+
+
+def measure_seconds(fn, repeats: int = 1, warmup: int = 0) -> TimingStats:
+    """Wall-clock statistics of ``fn()`` over ``repeats`` runs.
+
+    Returns a :class:`TimingStats` ``(best, mean, std, repeats)``;
+    ``std`` is the population standard deviation (0.0 for a single
+    repeat).  Use ``.best`` where a single number is wanted.
+    """
     for _ in range(warmup):
         fn()
-    best = float("inf")
+    samples = []
     for _ in range(repeats):
         t0 = time.perf_counter()
         fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
+        samples.append(time.perf_counter() - t0)
+    mean = sum(samples) / len(samples)
+    var = sum((s - mean) ** 2 for s in samples) / len(samples)
+    return TimingStats(best=min(samples), mean=mean, std=math.sqrt(var),
+                       repeats=len(samples))
 
 
 def format_bytes(nbytes: float) -> str:

@@ -1,9 +1,11 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the common workflows:
+Six subcommands cover the common workflows:
 
 * ``simulate`` — run a matrix-free (or Ewald) BD simulation of a
   monodisperse suspension and write the trajectory to ``.npz``,
+* ``profile``  — short traced run printing the Fig. 5-style phase
+  breakdown, measured vs the Section IV.D performance model,
 * ``analyze``  — diffusion analysis of a saved trajectory,
 * ``tune``     — print the PME parameters the tuner selects for a
   system size / accuracy target (one Table III row),
@@ -56,6 +58,20 @@ def build_parser() -> argparse.ArgumentParser:
                      help="deterministic fault-injection soak, e.g. "
                           "'seed=7,lanczos=0.01,nan-force=0.005,ckpt=kill@3'"
                           " (implies --recover)")
+    _add_obs_arguments(sim)
+
+    prof = sub.add_parser(
+        "profile",
+        help="traced run with a Fig. 5-style measured-vs-model table")
+    prof.add_argument("-n", "--particles", type=int, default=1000)
+    prof.add_argument("--phi", type=float, default=0.2)
+    prof.add_argument("--steps", type=int, default=5)
+    prof.add_argument("--dt", type=float, default=1e-3)
+    prof.add_argument("--lambda-rpy", type=int, default=16)
+    prof.add_argument("--e-k", type=float, default=1e-2)
+    prof.add_argument("--e-p", type=float, default=1e-3)
+    prof.add_argument("--seed", type=int, default=0)
+    _add_obs_arguments(prof)
 
     ana = sub.add_parser("analyze", help="analyze a saved trajectory")
     ana.add_argument("trajectory", help="path to a .npz trajectory")
@@ -69,7 +85,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="B-spline order (4, 6 or 8)")
 
     lint = sub.add_parser(
-        "lint", help="physics-aware static analysis (rules RPR001-RPR008)",
+        "lint", help="physics-aware static analysis (rules RPR001-RPR009)",
         add_help=False)
     lint.add_argument("lint_args", nargs=argparse.REMAINDER,
                       help="arguments forwarded to repro-lint "
@@ -79,7 +95,53 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_obs_arguments(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument("--trace", default=None, metavar="PATH",
+                            help="write span events as JSONL to PATH")
+    sub_parser.add_argument("--chrome-trace", default=None, metavar="PATH",
+                            help="write a chrome://tracing / Perfetto "
+                                 "JSON trace to PATH")
+    sub_parser.add_argument("--metrics", default=None, metavar="PATH",
+                            help="write metrics to PATH (.json -> JSON, "
+                                 "otherwise Prometheus text)")
+
+
+def _obs_wanted(args) -> bool:
+    return any(getattr(args, name, None) is not None
+               for name in ("trace", "chrome_trace", "metrics"))
+
+
+def _write_obs_outputs(args, tracer, registry) -> None:
+    if args.trace is not None:
+        path = tracer.write_jsonl(args.trace)
+        print(f"trace: {len(tracer.events)} events -> {path}")
+    if args.chrome_trace is not None:
+        path = tracer.write_chrome_trace(args.chrome_trace)
+        print(f"chrome trace -> {path}")
+    if args.metrics is not None:
+        path = registry.write(args.metrics)
+        print(f"metrics -> {path}")
+
+
 def _cmd_simulate(args) -> int:
+    if not _obs_wanted(args):
+        return _run_simulate(args)
+    from . import obs
+
+    tracer = obs.Tracer()
+    registry = obs.MetricsRegistry()
+    previous_tracer = obs.set_tracer(tracer)
+    previous_registry = obs.set_metrics(registry)
+    try:
+        code = _run_simulate(args)
+    finally:
+        obs.set_tracer(previous_tracer)
+        obs.set_metrics(previous_registry)
+    _write_obs_outputs(args, tracer, registry)
+    return code
+
+
+def _run_simulate(args) -> int:
     from .core.simulation import Simulation
     from .core.trajectory_io import save_trajectory
     from .resilience import RecoveryPolicy
@@ -138,6 +200,25 @@ def _cmd_simulate(args) -> int:
         print("recovery log:")
         for line in stats.recovery.summary().splitlines():
             print(f"  {line}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from .obs.profiling import run_profile
+
+    report = run_profile(
+        n=args.particles, phi=args.phi, steps=args.steps, dt=args.dt,
+        lambda_rpy=args.lambda_rpy, e_k=args.e_k, e_p=args.e_p,
+        seed=args.seed, trace_path=args.trace,
+        chrome_path=args.chrome_trace, metrics_path=args.metrics)
+    print(report.format_table())
+    other = {name: total for name, total in sorted(report.totals.items())
+             if not name.startswith("pme.")}
+    if other:
+        print("other spans (s): " + ", ".join(
+            f"{name}={total:.4g}" for name, total in other.items()))
+    for kind, path in report.outputs.items():
+        print(f"{kind} -> {path}")
     return 0
 
 
@@ -215,6 +296,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "simulate": _cmd_simulate,
+        "profile": _cmd_profile,
         "analyze": _cmd_analyze,
         "tune": _cmd_tune,
         "lint": _cmd_lint,

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConfigurationError
 from ..geometry.box import Box
 from ..pme.operator import PMEOperator, PMEParams
@@ -69,7 +70,8 @@ class BDStepStats:
     n_steps: int = 0
     mobility_updates: int = 0
     krylov_iterations: list[int] = field(default_factory=list)
-    timers: PhaseTimer = field(default_factory=PhaseTimer)
+    timers: PhaseTimer = field(
+        default_factory=lambda: PhaseTimer(prefix="bd"))
     recovery: RecoveryLog = field(default_factory=RecoveryLog)
 
     @property
@@ -192,21 +194,23 @@ class BrownianDynamicsBase(ABC):
                             self.rng.bit_generator.state, step,
                             stats.n_steps)
             try:
-                with stats.timers.phase("mobility"):
-                    self._prepare(wrapped)
-                stats.mobility_updates += 1
-                with stats.timers.phase("brownian"):
-                    disp = self._generate_displacements(block, stats)
-                for col in range(block):
-                    dr = self._propose_step(wrapped, disp[:, col], n,
-                                            stats, step)
-                    unwrapped += dr
-                    wrapped = self.box.wrap(wrapped + dr)
-                    step += 1
-                    stats.n_steps += 1
-                    self._after_clean_step(stats, step)
-                    if callback is not None:
-                        callback(step, wrapped, unwrapped)
+                with obs.span("bd.block", step=step, size=block):
+                    with stats.timers.phase("mobility"):
+                        self._prepare(wrapped)
+                    stats.mobility_updates += 1
+                    with stats.timers.phase("brownian"):
+                        disp = self._generate_displacements(block, stats)
+                    for col in range(block):
+                        dr = self._propose_step(wrapped, disp[:, col], n,
+                                                stats, step)
+                        unwrapped += dr
+                        wrapped = self.box.wrap(wrapped + dr)
+                        step += 1
+                        stats.n_steps += 1
+                        obs.inc("bd_steps_total")
+                        self._after_clean_step(stats, step)
+                        if callback is not None:
+                            callback(step, wrapped, unwrapped)
             except StepFailure as failure:
                 if policy is None or rollbacks >= policy.max_rollbacks:
                     raise
@@ -274,6 +278,7 @@ class BrownianDynamicsBase(ABC):
                     raise
                 self._dt_scale = next_scale
                 self._clean_steps = 0
+                obs.set_gauge("bd_dt_scale", self._dt_scale)
                 stats.recovery.record(step + 1, failure.kind, "dt-backoff",
                                       attempt=attempt,
                                       dt_scale=self._dt_scale)
@@ -286,6 +291,7 @@ class BrownianDynamicsBase(ABC):
         if self._clean_steps >= self.recovery.dt_recovery_steps:
             self._clean_steps = 0
             self._dt_scale = min(1.0, self._dt_scale * 2.0)
+            obs.set_gauge("bd_dt_scale", self._dt_scale)
             stats.recovery.record(step, FailureKind.NONFINITE_STATE,
                                   "restore-dt", dt_scale=self._dt_scale)
 
@@ -405,14 +411,14 @@ class MatrixFreeBD(BrownianDynamicsBase):
         z = self.rng.standard_normal((3 * self._operator.n, n_cols))
         if self.recovery is None:
             d = self._generator.generate(self._operator.apply, z)
-            stats.krylov_iterations.append(
-                self._generator.last_info.iterations)
-            return d
-        d, info = krylov_displacements_resilient(
-            self._generator, self._operator.apply, z, self.recovery,
-            stats.recovery, step=stats.n_steps)
-        stats.krylov_iterations.append(
-            info.iterations if info is not None else 0)
+            iters = self._generator.last_info.iterations
+        else:
+            d, info = krylov_displacements_resilient(
+                self._generator, self._operator.apply, z, self.recovery,
+                stats.recovery, step=stats.n_steps)
+            iters = info.iterations if info is not None else 0
+        stats.krylov_iterations.append(iters)
+        obs.observe("bd_krylov_iterations", iters)
         return d
 
     def mobility_memory_bytes(self) -> int:

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConfigurationError
 from ..resilience.policy import RecoveryPolicy
 from ..systems.suspension import Suspension
@@ -171,8 +172,11 @@ class Simulation:
             if extra_callback is not None:
                 extra_callback(step, wrapped, unwrapped)
 
-        final, stats = self.integrator.run(self._current, n_steps,
-                                           callback=record, stats=stats)
+        with obs.span("sim.run", n_steps=n_steps,
+                      n=self._current.shape[0],
+                      algorithm=self.algorithm):
+            final, stats = self.integrator.run(self._current, n_steps,
+                                               callback=record, stats=stats)
         self._current = self.suspension.box.wrap(final)
         steps = sorted(frames)
         traj = Trajectory(np.array([s * dt for s in steps]),

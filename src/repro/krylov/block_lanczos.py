@@ -25,6 +25,7 @@ from typing import Callable
 import numpy as np
 import scipy.linalg
 
+from .. import obs
 from ..errors import ConvergenceError
 from ..lint.contracts import array_arg
 from .lanczos import LanczosInfo
@@ -85,42 +86,51 @@ def block_lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
     rel_change = np.inf
     n_matvecs = 0
 
-    for m in range(1, max_iter + 1):
-        v = basis[-1]
-        w = np.asarray(matvec(v), dtype=np.float64)
-        n_matvecs += s
-        a = v.T @ w
-        a = 0.5 * (a + a.T)            # symmetrize against round-off
-        blocks_a.append(a)
-        w = w - v @ a
-        if m > 1:
-            w = w - basis[-2] @ blocks_b[-1].T
-        if reorthogonalize:
-            for vb in basis:
-                w -= vb @ (vb.T @ w)
+    def _finish(info: LanczosInfo) -> LanczosInfo:
+        obs.record_solver("block_lanczos", info.iterations, info.converged,
+                          info.rel_change, info.n_matvecs)
+        return info
 
-        # iterate and convergence check (cheap relative to block matvec)
-        coeffs = _block_tridiag_sqrt_first(blocks_a, blocks_b, s)  # (ms, s)
-        y = np.zeros((d, s))
-        for j, vb in enumerate(basis):
-            y += vb @ coeffs[j * s:(j + 1) * s]
-        y = y @ r1
-        if y_prev is not None:
-            denom = float(np.linalg.norm(y))
-            rel_change = (float(np.linalg.norm(y - y_prev)) / denom
-                          if denom > 0 else 0.0)
-            if rel_change < tol:
-                return y, LanczosInfo(m, True, rel_change, n_matvecs)
-        y_prev = y
+    with obs.span("krylov.block_lanczos", d=d, s=s, tol=tol):
+        for m in range(1, max_iter + 1):
+            v = basis[-1]
+            w = np.asarray(matvec(v), dtype=np.float64)
+            n_matvecs += s
+            a = v.T @ w
+            a = 0.5 * (a + a.T)        # symmetrize against round-off
+            blocks_a.append(a)
+            w = w - v @ a
+            if m > 1:
+                w = w - basis[-2] @ blocks_b[-1].T
+            if reorthogonalize:
+                for vb in basis:
+                    w -= vb @ (vb.T @ w)
 
-        v_next, b = np.linalg.qr(w)
-        if np.min(np.abs(np.diag(b))) <= 1e-12 * max(1.0, abs(b[0, 0])):
-            # invariant subspace: iterate is exact
-            return y, LanczosInfo(m, True, 0.0, n_matvecs)
-        blocks_b.append(b)
-        basis.append(v_next)
+            # iterate + convergence check (cheap next to the block matvec)
+            coeffs = _block_tridiag_sqrt_first(blocks_a, blocks_b, s)
+            y = np.zeros((d, s))
+            for j, vb in enumerate(basis):
+                y += vb @ coeffs[j * s:(j + 1) * s]
+            y = y @ r1
+            if y_prev is not None:
+                denom = float(np.linalg.norm(y))
+                rel_change = (float(np.linalg.norm(y - y_prev)) / denom
+                              if denom > 0 else 0.0)
+                if rel_change < tol:
+                    return y, _finish(
+                        LanczosInfo(m, True, rel_change, n_matvecs))
+            y_prev = y
 
-    raise ConvergenceError(
-        f"block Lanczos did not reach tol={tol} in {max_iter} iterations",
-        iterations=max_iter, residual=rel_change, best_iterate=y_prev,
-        n_matvecs=n_matvecs)
+            v_next, b = np.linalg.qr(w)
+            if np.min(np.abs(np.diag(b))) <= 1e-12 * max(1.0, abs(b[0, 0])):
+                # invariant subspace: iterate is exact
+                return y, _finish(LanczosInfo(m, True, 0.0, n_matvecs))
+            blocks_b.append(b)
+            basis.append(v_next)
+
+        _finish(LanczosInfo(max_iter, False, rel_change, n_matvecs))
+        raise ConvergenceError(
+            f"block Lanczos did not reach tol={tol} in {max_iter} "
+            f"iterations",
+            iterations=max_iter, residual=rel_change, best_iterate=y_prev,
+            n_matvecs=n_matvecs)

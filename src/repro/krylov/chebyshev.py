@@ -29,6 +29,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConvergenceError
 from .lanczos import LanczosInfo
 
@@ -66,20 +67,21 @@ def eigenvalue_bounds(matvec: Callable[[np.ndarray], np.ndarray], dim: int,
     basis = [v]
     alpha: list[float] = []
     beta: list[float] = []
-    for m in range(n_iter):
-        w = np.array(matvec(basis[-1]), dtype=np.float64, copy=True)
-        a = float(basis[-1] @ w)
-        alpha.append(a)
-        w -= a * basis[-1]
-        if m > 0:
-            w -= beta[-1] * basis[-2]
-        for vb in basis:                       # full reorthogonalization
-            w -= (vb @ w) * vb
-        b = float(np.linalg.norm(w))
-        if b < 1e-12:
-            break
-        beta.append(b)
-        basis.append(w / b)
+    with obs.span("krylov.bounds", d=dim, n_iter=n_iter):
+        for m in range(n_iter):
+            w = np.array(matvec(basis[-1]), dtype=np.float64, copy=True)
+            a = float(basis[-1] @ w)
+            alpha.append(a)
+            w -= a * basis[-1]
+            if m > 0:
+                w -= beta[-1] * basis[-2]
+            for vb in basis:                   # full reorthogonalization
+                w -= (vb @ w) * vb
+            b = float(np.linalg.norm(w))
+            if b < 1e-12:
+                break
+            beta.append(b)
+            basis.append(w / b)
     import scipy.linalg
     ritz = scipy.linalg.eigvalsh_tridiagonal(
         np.array(alpha), np.array(beta[: len(alpha) - 1]))
@@ -187,11 +189,14 @@ def chebyshev_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
     b1 = np.zeros_like(zb)
     b2 = np.zeros_like(zb)
     n_matvecs = 0
-    for ck in c[:0:-1]:
-        b1, b2 = 2.0 * t_apply(b1) - b2 + ck * zb, b1
+    with obs.span("krylov.chebyshev", d=int(zb.shape[0]), s=s,
+                  degree=degree):
+        for ck in c[:0:-1]:
+            b1, b2 = 2.0 * t_apply(b1) - b2 + ck * zb, b1
+            n_matvecs += s
+        y = t_apply(b1) - b2 + 0.5 * c[0] * zb
         n_matvecs += s
-    y = t_apply(b1) - b2 + 0.5 * c[0] * zb
-    n_matvecs += s
+    obs.record_solver("chebyshev", degree, converged, err, n_matvecs)
     if not converged:
         raise ConvergenceError(
             f"Chebyshev degree {max_degree} insufficient for tol={tol} on "

@@ -26,6 +26,7 @@ from typing import Callable
 import numpy as np
 import scipy.linalg
 
+from .. import obs
 from ..errors import ConvergenceError
 from ..lint.contracts import array_arg
 
@@ -111,40 +112,50 @@ def lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray], z: np.ndarray,
     rel_change = np.inf
     n_matvecs = 0
 
-    for m in range(1, max_iter + 1):
-        v = basis[m - 1]
-        # copy: a matvec may return its input (e.g. the identity), and w
-        # is updated in place below
-        w = np.array(matvec(v), dtype=np.float64, copy=True)
-        n_matvecs += 1
-        a = float(v @ w)
-        alpha.append(a)
-        w -= a * v
-        if m > 1:
-            w -= beta[-1] * basis[m - 2]
-        if reorthogonalize:
-            # one pass of classical Gram-Schmidt against the whole basis
-            w -= basis[:m].T @ (basis[:m] @ w)
-        b = float(np.linalg.norm(w))
+    def _finish(info: LanczosInfo) -> LanczosInfo:
+        obs.record_solver("lanczos", info.iterations, info.converged,
+                          info.rel_change, info.n_matvecs)
+        return info
 
-        if m % check_interval == 0 or b <= 1e-14 * norm_z or m == max_iter:
-            coeffs = _tridiag_sqrt_e1(np.array(alpha), np.array(beta))
-            y = norm_z * (coeffs @ basis[:m])
-            if y_prev is not None:
-                denom = float(np.linalg.norm(y))
-                rel_change = (float(np.linalg.norm(y - y_prev)) / denom
-                              if denom > 0 else 0.0)
-                if rel_change < tol:
-                    return y, LanczosInfo(m, True, rel_change, n_matvecs)
-            y_prev = y
+    with obs.span("krylov.lanczos", d=d, tol=tol):
+        for m in range(1, max_iter + 1):
+            v = basis[m - 1]
+            # copy: a matvec may return its input (e.g. the identity),
+            # and w is updated in place below
+            w = np.array(matvec(v), dtype=np.float64, copy=True)
+            n_matvecs += 1
+            a = float(v @ w)
+            alpha.append(a)
+            w -= a * v
+            if m > 1:
+                w -= beta[-1] * basis[m - 2]
+            if reorthogonalize:
+                # one pass of classical Gram-Schmidt against the basis
+                w -= basis[:m].T @ (basis[:m] @ w)
+            b = float(np.linalg.norm(w))
 
-        if b <= 1e-14 * norm_z:
-            # invariant subspace found: the iterate is exact
-            return y_prev, LanczosInfo(m, True, 0.0, n_matvecs)
-        beta.append(b)
-        basis[m] = w / b
+            if (m % check_interval == 0 or b <= 1e-14 * norm_z
+                    or m == max_iter):
+                coeffs = _tridiag_sqrt_e1(np.array(alpha), np.array(beta))
+                y = norm_z * (coeffs @ basis[:m])
+                if y_prev is not None:
+                    denom = float(np.linalg.norm(y))
+                    rel_change = (float(np.linalg.norm(y - y_prev)) / denom
+                                  if denom > 0 else 0.0)
+                    if rel_change < tol:
+                        return y, _finish(
+                            LanczosInfo(m, True, rel_change, n_matvecs))
+                y_prev = y
 
-    raise ConvergenceError(
-        f"Lanczos did not reach tol={tol} in {max_iter} iterations",
-        iterations=max_iter, residual=rel_change, best_iterate=y_prev,
-        n_matvecs=n_matvecs)
+            if b <= 1e-14 * norm_z:
+                # invariant subspace found: the iterate is exact
+                return y_prev, _finish(
+                    LanczosInfo(m, True, 0.0, n_matvecs))
+            beta.append(b)
+            basis[m] = w / b
+
+        _finish(LanczosInfo(max_iter, False, rel_change, n_matvecs))
+        raise ConvergenceError(
+            f"Lanczos did not reach tol={tol} in {max_iter} iterations",
+            iterations=max_iter, residual=rel_change, best_iterate=y_prev,
+            n_matvecs=n_matvecs)

@@ -28,7 +28,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Physics-aware static analysis for the repro package "
-                    "(rules RPR001-RPR008; see docs/static_analysis.md)")
+                    "(rules RPR001-RPR009; see docs/static_analysis.md)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
     parser.add_argument("--format", "-f", choices=["text", "json"],

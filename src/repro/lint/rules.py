@@ -1,4 +1,4 @@
-"""The built-in physics-aware lint rules (RPR001 .. RPR008).
+"""The built-in physics-aware lint rules (RPR001 .. RPR009).
 
 Each rule encodes an invariant the paper's algorithms depend on but the
 Python type system cannot express — see ``docs/static_analysis.md`` for
@@ -410,3 +410,59 @@ class AssertValidationRule(Rule):
                     "assert used for validation (removed under python -O)",
                     hint="raise repro.errors.ConfigurationError (or use "
                          "repro.utils.validation.require)")
+
+
+@register
+class DirectWallClockRule(Rule):
+    """RPR009: wall-clock read outside the timing/observability layers."""
+
+    meta = RuleMeta(
+        id="RPR009", name="direct-wall-clock",
+        summary="direct time.perf_counter()/time.time() call outside "
+                "repro.utils.timing, repro.obs and the bench harness",
+        rationale="Ad-hoc clock reads bypass the Timer/PhaseTimer/tracer "
+                  "chokepoints, so the interval never reaches span traces, "
+                  "metrics or the Fig. 5 phase profile; route timing "
+                  "through repro.utils.timing or an obs span instead.")
+
+    #: ``time.<attr>()`` calls that read a wall/CPU clock.
+    _CLOCK_ATTRS = frozenset({
+        "time", "perf_counter", "perf_counter_ns", "monotonic",
+        "monotonic_ns", "process_time", "process_time_ns",
+    })
+    #: Unambiguous bare names (``from time import perf_counter``);
+    #: bare ``time(...)`` is too common a user symbol to flag.
+    _CLOCK_NAMES = _CLOCK_ATTRS - {"time"}
+
+    @staticmethod
+    def _exempt(display_path: str) -> bool:
+        parts = display_path.replace("\\", "/").split("/")
+        filename = parts[-1] if parts else ""
+        if filename.startswith("test_") or "tests" in parts:
+            return True
+        if "bench" in parts or "benchmarks" in parts or "obs" in parts:
+            return True
+        return filename == "timing.py" and "utils" in parts
+
+    def check(self, ctx) -> Iterator[Finding]:
+        if self._exempt(ctx.display_path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            bare = isinstance(node.func, ast.Name)
+            clock = None
+            if dotted and dotted.startswith("time."):
+                attr = dotted.split(".", 1)[1]
+                if attr in self._CLOCK_ATTRS:
+                    clock = dotted
+            elif bare and node.func.id in self._CLOCK_NAMES:
+                clock = node.func.id
+            if clock is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"direct wall-clock call {clock}() outside the "
+                    "timing utilities",
+                    hint="use repro.utils.timing.Timer/PhaseTimer or an "
+                         "obs.span so the interval is observable")

@@ -1,0 +1,156 @@
+"""``repro profile`` — a Fig. 5-style phase table from a live run.
+
+Runs a short matrix-free BD simulation with tracing and metrics
+enabled, aggregates the per-phase span totals, and prints them next to
+the Section IV.D performance-model predictions evaluated with the host
+machine description — the measured-vs-modeled comparison of the
+paper's Fig. 5, but produced from the *instrumentation* rather than a
+bespoke benchmark loop (the profiler dogfoods ``repro.obs``).
+
+The number of single-vector reciprocal pipeline passes is read off the
+trace as the count of ``pme.fft`` spans (the FFT phase runs once per
+vector per application), and each per-application model prediction is
+scaled by that count.  The real-space prediction charges the full
+matrix payload per vector, so block (multi-RHS) application typically
+measures *below* it — the amortization the paper's reference [24]
+exploits.
+
+This module deliberately imports the simulation stack, so it is
+imported lazily (by the CLI), never from ``repro.obs.__init__``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from . import metrics as _metrics
+from . import trace as _trace
+
+__all__ = ["PhaseRow", "ProfileReport", "run_profile"]
+
+#: Reciprocal phases in Fig. 5 order, then the real-space term.
+PROFILE_PHASES = ["spread", "fft", "influence", "ifft", "interpolate",
+                  "real"]
+
+
+@dataclass
+class PhaseRow:
+    """One line of the profile table."""
+
+    phase: str
+    calls: int
+    measured: float
+    predicted: float | None
+
+    @property
+    def ratio(self) -> float | None:
+        """measured / predicted (``None`` without a prediction)."""
+        if self.predicted is None or self.predicted == 0.0:
+            return None
+        return self.measured / self.predicted
+
+
+@dataclass
+class ProfileReport:
+    """Aggregated result of :func:`run_profile`."""
+
+    n: int
+    K: int
+    p: int
+    steps: int
+    #: Single-vector reciprocal pipeline passes (``pme.fft`` spans).
+    applications: int
+    rows: list[PhaseRow]
+    #: Seconds per span name, all recorded spans.
+    totals: dict[str, float] = field(default_factory=dict)
+    #: Span counts per name.
+    counts: dict[str, int] = field(default_factory=dict)
+    #: Paths written (trace/chrome/metrics), for the CLI summary.
+    outputs: dict[str, Path] = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        """The Fig. 5-style aligned table."""
+        from ..bench.harness import format_table
+
+        table_rows: list[list[Any]] = []
+        for row in self.rows:
+            predicted = ("-" if row.predicted is None
+                         else f"{row.predicted:.4g}")
+            ratio = "-" if row.ratio is None else f"{row.ratio:.2f}x"
+            table_rows.append([row.phase, row.calls,
+                               f"{row.measured:.4g}", predicted, ratio])
+        title = (f"repro profile: PME phase breakdown, measured vs "
+                 f"Eq. 10 model (n={self.n}, K={self.K}, p={self.p}, "
+                 f"{self.applications} reciprocal applications)")
+        return format_table(title,
+                            ["phase", "calls", "measured (s)",
+                             "predicted (s)", "meas/pred"],
+                            table_rows)
+
+
+def run_profile(n: int = 1000, phi: float = 0.2, steps: int = 5,
+                dt: float = 1e-3, lambda_rpy: int = 16,
+                e_k: float = 1e-2, e_p: float = 1e-3, seed: int = 0,
+                trace_path: str | Path | None = None,
+                chrome_path: str | Path | None = None,
+                metrics_path: str | Path | None = None,
+                max_events: int = 1_000_000) -> ProfileReport:
+    """Run a short traced simulation and aggregate the phase profile.
+
+    A fresh tracer and metrics registry are installed for the duration
+    of the run and the previous globals restored afterwards, so
+    profiling composes with (and never corrupts) an enclosing
+    observability session.
+    """
+    from ..core.simulation import Simulation
+    from ..perfmodel import HOST, PMECostModel
+    from ..systems.suspension import make_suspension
+
+    tracer = _trace.Tracer(max_events=max_events)
+    registry = _metrics.MetricsRegistry()
+    previous_tracer = _trace.set_tracer(tracer)
+    previous_registry = _metrics.set_metrics(registry)
+    try:
+        susp = make_suspension(n, phi, seed=seed)
+        sim = Simulation(susp, algorithm="matrix-free", dt=dt,
+                         lambda_rpy=lambda_rpy, seed=seed + 1, e_k=e_k,
+                         target_ep=e_p)
+        sim.run(n_steps=steps, record_interval=max(1, steps))
+        params = sim.integrator.pme_params
+        operator = sim.integrator.operator
+    finally:
+        _trace.set_tracer(previous_tracer)
+        _metrics.set_metrics(previous_registry)
+
+    totals = tracer.totals()
+    counts = tracer.counts()
+    n_apps = counts.get("pme.fft", 0)
+
+    model = PMECostModel(HOST)
+    per_apply = model.breakdown(n, params.K, params.p)
+    pair_density = 2.0 * operator.real.n_pairs / max(1, n)
+    per_apply["real"] = model.t_real(n, pair_density, n_vectors=1)
+
+    rows = []
+    for phase in PROFILE_PHASES:
+        name = f"pme.{phase}"
+        predicted = per_apply.get(phase)
+        rows.append(PhaseRow(
+            phase=phase,
+            calls=counts.get(name, 0),
+            measured=totals.get(name, 0.0),
+            predicted=(None if predicted is None
+                       else predicted * n_apps)))
+
+    report = ProfileReport(n=n, K=params.K, p=params.p, steps=steps,
+                           applications=n_apps, rows=rows,
+                           totals=totals, counts=counts)
+    if trace_path is not None:
+        report.outputs["trace"] = tracer.write_jsonl(trace_path)
+    if chrome_path is not None:
+        report.outputs["chrome"] = tracer.write_chrome_trace(chrome_path)
+    if metrics_path is not None:
+        report.outputs["metrics"] = registry.write(metrics_path)
+    return report

@@ -1,0 +1,219 @@
+"""Schemas and validators for the observability export formats.
+
+Mirrors the approach of :mod:`repro.lint` (``REPORT_JSON_SCHEMA``):
+the schemas are plain dictionaries published for external consumers,
+and validation is implemented directly so it works without a
+``jsonschema`` dependency.  The validators are used by the test suite
+and by the CI ``observability`` job::
+
+    python -m repro.obs.schema out.jsonl out.prom
+
+validates any mix of trace JSONL, Chrome trace JSON, metrics JSON and
+Prometheus text files (dispatched on extension) and exits non-zero on
+the first violation.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any
+
+__all__ = ["TRACE_EVENT_SCHEMA", "METRICS_JSON_SCHEMA",
+           "validate_trace_event", "validate_trace_events",
+           "validate_chrome_trace", "validate_metrics_json",
+           "validate_prometheus_text", "validate_file", "main"]
+
+#: JSON-Schema-style description of one JSONL trace event.
+TRACE_EVENT_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["name", "ph", "ts", "dur", "tid", "depth"],
+    "properties": {
+        "name": {"type": "string", "minLength": 1},
+        "ph": {"enum": ["X", "i"]},
+        "ts": {"type": "number", "minimum": 0},
+        "dur": {"type": "number", "minimum": 0},
+        "tid": {"type": "integer"},
+        "depth": {"type": "integer", "minimum": 0},
+        "args": {"type": "object"},
+    },
+}
+
+#: JSON-Schema-style description of the metrics JSON export.
+METRICS_JSON_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["metrics"],
+    "properties": {
+        "metrics": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "type", "series"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "type": {"enum": ["counter", "gauge", "histogram"]},
+                    "help": {"type": "string"},
+                    "series": {"type": "array"},
+                },
+            },
+        },
+    },
+}
+
+_METRIC_LINE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"                      # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""           # first label
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"      # more labels
+    r" [0-9eE+.\-]+(\s+[0-9]+)?$")                    # value [timestamp]
+_COMMENT_RE = re.compile(r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$")
+
+
+class SchemaError(ValueError):
+    """A document does not conform to its observability schema."""
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise SchemaError(message)
+
+
+def validate_trace_event(event: dict[str, Any],
+                         where: str = "event") -> None:
+    """Validate one JSONL trace event dict; raises :class:`SchemaError`."""
+    _require(isinstance(event, dict), f"{where}: not an object")
+    for key in TRACE_EVENT_SCHEMA["required"]:
+        _require(key in event, f"{where}: missing required key {key!r}")
+    _require(isinstance(event["name"], str) and event["name"],
+             f"{where}: name must be a non-empty string")
+    _require(event["ph"] in ("X", "i"),
+             f"{where}: ph must be 'X' or 'i', got {event['ph']!r}")
+    for key in ("ts", "dur"):
+        _require(isinstance(event[key], (int, float))
+                 and not isinstance(event[key], bool)
+                 and event[key] >= 0,
+                 f"{where}: {key} must be a non-negative number")
+    for key in ("tid", "depth"):
+        _require(isinstance(event[key], int)
+                 and not isinstance(event[key], bool),
+                 f"{where}: {key} must be an integer")
+    _require(event["depth"] >= 0, f"{where}: depth must be >= 0")
+    if event["ph"] == "i":
+        _require(event["dur"] == 0,
+                 f"{where}: instant events must have dur == 0")
+    if "args" in event:
+        _require(isinstance(event["args"], dict),
+                 f"{where}: args must be an object")
+
+
+def validate_trace_events(events: list[dict[str, Any]]) -> None:
+    """Validate a parsed JSONL trace (an empty trace is valid)."""
+    for i, event in enumerate(events):
+        validate_trace_event(event, where=f"event {i}")
+
+
+def validate_chrome_trace(doc: dict[str, Any]) -> None:
+    """Validate a Chrome trace-event JSON document."""
+    _require(isinstance(doc, dict), "chrome trace: not an object")
+    _require("traceEvents" in doc, "chrome trace: missing traceEvents")
+    events = doc["traceEvents"]
+    _require(isinstance(events, list), "chrome trace: traceEvents must "
+             "be an array")
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        _require(isinstance(e, dict), f"{where}: not an object")
+        for key in ("name", "ph", "pid", "tid", "ts"):
+            _require(key in e, f"{where}: missing required key {key!r}")
+        _require(e["ph"] in ("X", "i"),
+                 f"{where}: unsupported phase {e['ph']!r}")
+        if e["ph"] == "X":
+            _require("dur" in e and e["dur"] >= 0,
+                     f"{where}: complete events need dur >= 0")
+
+
+def validate_metrics_json(doc: dict[str, Any]) -> None:
+    """Validate the metrics JSON export document."""
+    _require(isinstance(doc, dict) and "metrics" in doc,
+             "metrics json: missing top-level 'metrics'")
+    _require(isinstance(doc["metrics"], list),
+             "metrics json: 'metrics' must be an array")
+    for i, family in enumerate(doc["metrics"]):
+        where = f"metrics[{i}]"
+        for key in ("name", "type", "series"):
+            _require(key in family, f"{where}: missing {key!r}")
+        _require(family["type"] in ("counter", "gauge", "histogram"),
+                 f"{where}: unknown type {family['type']!r}")
+        for j, series in enumerate(family["series"]):
+            swhere = f"{where}.series[{j}]"
+            _require(isinstance(series.get("labels"), dict),
+                     f"{swhere}: missing labels object")
+            if family["type"] == "histogram":
+                for key in ("count", "sum", "buckets"):
+                    _require(key in series, f"{swhere}: missing {key!r}")
+            else:
+                _require("value" in series, f"{swhere}: missing 'value'")
+
+
+def validate_prometheus_text(text: str) -> None:
+    """Validate Prometheus text exposition format (empty text is valid)."""
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            _require(_COMMENT_RE.match(line) is not None,
+                     f"line {lineno}: malformed comment {line!r} "
+                     "(only '# HELP name text' / '# TYPE name kind')")
+            continue
+        _require(_METRIC_LINE_RE.match(line) is not None,
+                 f"line {lineno}: malformed sample line {line!r}")
+    _require(text == "" or text.endswith("\n"),
+             "prometheus text must end with a newline")
+
+
+def validate_file(path: str | Path) -> str:
+    """Validate one exported file, dispatching on its extension.
+
+    Returns a short description of what was validated; raises
+    :class:`SchemaError` (or ``OSError`` / ``json.JSONDecodeError``)
+    on failure.
+    """
+    path = Path(path)
+    if path.suffix == ".jsonl":
+        from .trace import read_jsonl
+        events = read_jsonl(path)
+        validate_trace_events(events)
+        return f"trace jsonl ({len(events)} events)"
+    if path.suffix == ".json":
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        if "traceEvents" in doc:
+            validate_chrome_trace(doc)
+            return f"chrome trace ({len(doc['traceEvents'])} events)"
+        validate_metrics_json(doc)
+        return f"metrics json ({len(doc['metrics'])} families)"
+    text = path.read_text(encoding="utf-8")
+    validate_prometheus_text(text)
+    return f"prometheus text ({len(text.splitlines())} lines)"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate every file given on the command line."""
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if not argv:
+        print("usage: python -m repro.obs.schema FILE [FILE ...]",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for arg in argv:
+        try:
+            what = validate_file(arg)
+        except (SchemaError, OSError, json.JSONDecodeError) as exc:
+            print(f"{arg}: INVALID — {exc}")
+            status = 1
+        else:
+            print(f"{arg}: ok — {what}")
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,312 @@
+"""Span-based tracing for the BD pipeline.
+
+A :class:`Tracer` records *spans* — named, timed, attributed intervals
+— with thread-safe nesting, plus zero-duration *instant* events (used
+by the recovery ladder).  The recorded stream exports to
+
+* JSONL (one event object per line, the ``--trace out.jsonl`` format),
+* the Chrome trace-event JSON consumed by ``chrome://tracing`` and
+  Perfetto (``ph: "X"`` complete events / ``ph: "i"`` instants).
+
+Tracing is **opt-in and near-free when off**: the module-level
+:func:`span` / :func:`instant` facades check one global and return a
+shared no-op context manager when no tracer is installed, so the
+instrumented numerical code pays a single attribute load + ``is None``
+test per call site.  Installing a tracer never touches the numerics or
+the RNG stream — traced and untraced runs are bit-identical.
+
+Span names are dotted, coarse-to-fine (``pme.spread``,
+``krylov.block_lanczos``, ``bd.mobility`` — see
+``docs/observability.md`` for the full taxonomy).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+__all__ = ["SpanEvent", "Tracer", "span", "instant", "get_tracer",
+           "set_tracer", "tracing_enabled", "write_jsonl", "read_jsonl",
+           "to_chrome_trace", "NULL_SPAN"]
+
+
+@dataclass
+class SpanEvent:
+    """One recorded trace event.
+
+    Attributes
+    ----------
+    name:
+        Dotted span name (``"pme.fft"``).
+    ts:
+        Start time in seconds relative to the tracer's epoch.
+    dur:
+        Duration in seconds (0.0 for instant events).
+    tid:
+        Identifier of the recording thread.
+    depth:
+        Nesting depth within the recording thread (0 = top level).
+    phase:
+        ``"X"`` for a complete span, ``"i"`` for an instant event
+        (Chrome trace-event phase letters).
+    args:
+        Free-form attributes attached at the call site.
+    """
+
+    name: str
+    ts: float
+    dur: float
+    tid: int
+    depth: int
+    phase: str = "X"
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form used by the JSONL export."""
+        out: dict[str, Any] = {"name": self.name, "ph": self.phase,
+                               "ts": self.ts, "dur": self.dur,
+                               "tid": self.tid, "depth": self.depth}
+        if self.args:
+            out["args"] = self.args
+        return out
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+#: Shared do-nothing context manager (also used by instrumentation that
+#: wants to skip span construction entirely on its own fast path).
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """Context manager recording one span into a tracer."""
+
+    __slots__ = ("_tracer", "name", "args", "_t0", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._depth = self._tracer._push()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        dur = time.perf_counter() - self._t0
+        self._tracer._pop()
+        self._tracer._record(self.name, self._t0, dur, self._depth,
+                             "X", self.args)
+
+
+class Tracer:
+    """Collects :class:`SpanEvent` records from any number of threads.
+
+    Parameters
+    ----------
+    max_events:
+        Safety cap on stored events; once reached, further events are
+        counted in :attr:`dropped` instead of stored (an unbounded
+        month-long run must not exhaust memory through its telemetry).
+    """
+
+    def __init__(self, max_events: int = 1_000_000):
+        self.epoch = time.perf_counter()
+        self.max_events = int(max_events)
+        self.events: list[SpanEvent] = []
+        #: Events discarded after ``max_events`` was reached.
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- recording (internal API used by _Span and the facades) ----------
+
+    def _push(self) -> int:
+        depth = getattr(self._local, "depth", 0)
+        self._local.depth = depth + 1
+        return depth
+
+    def _pop(self) -> None:
+        self._local.depth -= 1
+
+    def _record(self, name: str, t0: float, dur: float, depth: int,
+                phase: str, args: dict[str, Any]) -> None:
+        event = SpanEvent(name=name, ts=t0 - self.epoch, dur=dur,
+                          tid=threading.get_ident(), depth=depth,
+                          phase=phase, args=args)
+        with self._lock:
+            if len(self.events) < self.max_events:
+                self.events.append(event)
+            else:
+                self.dropped += 1
+
+    # -- public recording API --------------------------------------------
+
+    def span(self, name: str, **args: Any) -> _Span:
+        """Context manager timing one span named ``name``."""
+        return _Span(self, name, args)
+
+    def instant(self, name: str, **args: Any) -> None:
+        """Record a zero-duration event (e.g. a recovery action)."""
+        self._record(name, time.perf_counter(), 0.0,
+                     getattr(self._local, "depth", 0), "i", args)
+
+    def add_interval(self, name: str, t0: float, dur: float,
+                     **args: Any) -> None:
+        """Record an externally timed interval (``t0`` in perf-counter
+        time) — used by :class:`~repro.utils.timing.PhaseTimer` so span
+        durations coincide with the timer's own measurement."""
+        self._record(name, t0, dur, getattr(self._local, "depth", 0),
+                     "X", args)
+
+    # -- aggregation -------------------------------------------------------
+
+    def totals(self, prefix: str = "") -> dict[str, float]:
+        """Accumulated seconds per span name (optionally filtered).
+
+        Only top-level occurrences of each *name* are summed — i.e. a
+        reentrant span nested inside itself is not double counted —
+        but distinct nested names each report their own total.
+        """
+        out: dict[str, float] = {}
+        with self._lock:
+            events = list(self.events)
+        for e in events:
+            if e.phase != "X" or not e.name.startswith(prefix):
+                continue
+            out[e.name] = out.get(e.name, 0.0) + e.dur
+        return out
+
+    def counts(self, prefix: str = "") -> dict[str, int]:
+        """Number of spans per name (optionally filtered by prefix)."""
+        out: dict[str, int] = {}
+        with self._lock:
+            events = list(self.events)
+        for e in events:
+            if e.phase != "X" or not e.name.startswith(prefix):
+                continue
+            out[e.name] = out.get(e.name, 0) + 1
+        return out
+
+    # -- export ------------------------------------------------------------
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Write one JSON object per line; returns the path written."""
+        return write_jsonl(self.events, path)
+
+    def to_chrome_trace(self) -> dict[str, Any]:
+        """The ``chrome://tracing`` / Perfetto JSON document."""
+        return to_chrome_trace(self.events)
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        """Write the Chrome trace-event JSON document to ``path``."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_chrome_trace()),
+                        encoding="utf-8")
+        return path
+
+
+def write_jsonl(events: Iterable[SpanEvent], path: str | Path) -> Path:
+    """Write events as JSON Lines (one event dict per line)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event.to_dict()) + "\n")
+    return path
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a JSONL trace back into event dictionaries."""
+    out = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+    return out
+
+
+def to_chrome_trace(events: Iterable[SpanEvent]) -> dict[str, Any]:
+    """Convert events to the Chrome trace-event format.
+
+    Timestamps and durations are microseconds as the format requires;
+    the span's dotted root becomes the category.
+    """
+    pid = os.getpid()
+    trace_events = []
+    for e in events:
+        entry: dict[str, Any] = {
+            "name": e.name,
+            "cat": e.name.split(".", 1)[0],
+            "ph": e.phase,
+            "pid": pid,
+            "tid": e.tid,
+            "ts": e.ts * 1e6,
+        }
+        if e.phase == "X":
+            entry["dur"] = e.dur * 1e6
+        else:
+            entry["s"] = "t"  # thread-scoped instant
+        if e.args:
+            entry["args"] = e.args
+        trace_events.append(entry)
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+# ----------------------------------------------------------------------
+# the process-global tracer and its fast-path facades
+# ----------------------------------------------------------------------
+
+_TRACER: Tracer | None = None
+
+
+def get_tracer() -> Tracer | None:
+    """The installed global tracer (``None`` when tracing is off)."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install (or remove, with ``None``) the global tracer.
+
+    Returns the previously installed tracer so callers can restore it.
+    """
+    global _TRACER
+    previous = _TRACER
+    _TRACER = tracer
+    return previous
+
+
+def tracing_enabled() -> bool:
+    """Whether a global tracer is installed."""
+    return _TRACER is not None
+
+
+def span(name: str, **args: Any):
+    """Span against the global tracer; no-op singleton when disabled."""
+    tracer = _TRACER
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **args)
+
+
+def instant(name: str, **args: Any) -> None:
+    """Instant event against the global tracer; no-op when disabled."""
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.instant(name, **args)

@@ -13,21 +13,21 @@ effective bandwidth, :func:`calibrate_host` measures them directly:
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
+from ..utils.timing import Timer
 from .machines import Machine
 
 __all__ = ["calibrate_host"]
 
 
 def _time_best(fn, repeats: int = 3) -> float:
+    timer = Timer()
     best = float("inf")
     for _ in range(repeats):
-        t0 = time.perf_counter()
+        timer.start()
         fn()
-        best = min(best, time.perf_counter() - t0)
+        best = min(best, timer.stop())
     return best
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import obs
 from ..errors import ConfigurationError
 from ..geometry.box import Box
 from ..lint.contracts import force_block_arg, positions_arg
@@ -83,7 +84,8 @@ class RealSpaceOperator:
         self.engine = engine
         self.kernel = kernel
 
-        i, j = find_pairs(r, box, r_max, backend=neighbor_backend)
+        with obs.span("pme.find_pairs", n=n, backend=neighbor_backend):
+            i, j = find_pairs(r, box, r_max, backend=neighbor_backend)
         if i.size:
             rij, dist = box.distances(r, i, j)
             f, g = beenakker.real_space_coefficients(dist, xi, fluid.radius,
@@ -117,10 +119,12 @@ class RealSpaceOperator:
         (the block path is the one Algorithm 2 exercises).
         """
         f, flat = as_force_block(forces, self.n)
-        if self._csr is not None:
-            out = self._csr @ f
-        else:
-            out = self.bcsr.matvec(f)
+        with obs.span("pme.real_spmv", engine=self.engine,
+                      s=int(f.shape[1])):
+            if self._csr is not None:
+                out = self._csr @ f
+            else:
+                out = self.bcsr.matvec(f)
         return out[:, 0] if flat else out
 
     @property

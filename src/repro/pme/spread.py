@@ -20,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from .. import obs
 from ..errors import ConfigurationError
 from ..geometry.box import Box
 from ..lint.contracts import positions_arg
@@ -97,17 +98,20 @@ class InterpolationMatrix:
     @positions_arg()
     def __init__(self, positions, box: Box, K: int, p: int,
                  kind: str = "bspline"):
-        data, cols = _weights_and_columns(positions, box, K, p, kind=kind)
-        n = data.shape[0]
-        self.n = n
-        self.K = int(K)
-        self.p = int(p)
-        self.kind = kind
-        indptr = np.arange(0, n * p ** 3 + 1, p ** 3, dtype=np.intp)
-        #: The sparse ``n x K^3`` matrix (CSR).
-        self.matrix = sp.csr_matrix(
-            (data.ravel(), cols.ravel(), indptr), shape=(n, K ** 3))
-        self._transpose = self.matrix.T.tocsr()
+        with obs.span("pme.build_p", K=int(K), p=int(p), kind=kind):
+            data, cols = _weights_and_columns(positions, box, K, p,
+                                              kind=kind)
+            n = data.shape[0]
+            self.n = n
+            self.K = int(K)
+            self.p = int(p)
+            self.kind = kind
+            indptr = np.arange(0, n * p ** 3 + 1, p ** 3, dtype=np.intp)
+            #: The sparse ``n x K^3`` matrix (CSR).
+            self.matrix = sp.csr_matrix(
+                (data.ravel(), cols.ravel(), indptr), shape=(n, K ** 3))
+            self._transpose = self.matrix.T.tocsr()
+        obs.set_gauge("pme_p_nnz", self.matrix.nnz)
 
     def spread(self, values: np.ndarray) -> np.ndarray:
         """Spread per-particle values onto the mesh: ``P^T values``.
@@ -158,13 +162,14 @@ def spread_on_the_fly(positions, box: Box, K: int, p: int,
     n, s = vals.shape
     out = np.zeros((K ** 3, s))
     r = as_positions(positions, n)
-    for lo in range(0, n, chunk):
-        hi = min(lo + chunk, n)
-        data, cols = _weights_and_columns(r[lo:hi], box, K, p, kind=kind)
-        # scatter-add: multiple particles hit the same mesh points
-        contrib = data[:, :, None] * vals[lo:hi, None, :]
-        np.add.at(out, cols.ravel(),
-                  contrib.reshape(-1, s))
+    with obs.span("pme.spread_otf", n=n, s=s):
+        for lo in range(0, n, chunk):
+            hi = min(lo + chunk, n)
+            data, cols = _weights_and_columns(r[lo:hi], box, K, p, kind=kind)
+            # scatter-add: multiple particles hit the same mesh points
+            contrib = data[:, :, None] * vals[lo:hi, None, :]
+            np.add.at(out, cols.ravel(),
+                      contrib.reshape(-1, s))
     return out[:, 0] if flat else out
 
 
@@ -179,8 +184,10 @@ def interpolate_on_the_fly(positions, box: Box, K: int, p: int,
     r = as_positions(positions)
     n = r.shape[0]
     out = np.empty((n, mv.shape[1]))
-    for lo in range(0, n, chunk):
-        hi = min(lo + chunk, n)
-        data, cols = _weights_and_columns(r[lo:hi], box, K, p, kind=kind)
-        out[lo:hi] = np.einsum("ie,ies->is", data, mv[cols], optimize=True)
+    with obs.span("pme.interpolate_otf", n=n, s=int(mv.shape[1])):
+        for lo in range(0, n, chunk):
+            hi = min(lo + chunk, n)
+            data, cols = _weights_and_columns(r[lo:hi], box, K, p, kind=kind)
+            out[lo:hi] = np.einsum("ie,ies->is", data, mv[cols],
+                                   optimize=True)
     return out[:, 0] if flat else out

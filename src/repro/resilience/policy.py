@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from .. import obs
 from ..errors import ConfigurationError
 from .failures import FailureKind
 
@@ -154,10 +155,20 @@ class RecoveryLog:
 
     def record(self, step: int, kind: FailureKind, action: str,
                attempt: int = 0, **detail: Any) -> RecoveryEvent:
-        """Append and return a new :class:`RecoveryEvent`."""
+        """Append and return a new :class:`RecoveryEvent`.
+
+        Every event is mirrored to the observability layer (when
+        enabled) as an instant trace event ``recovery.<action>`` and a
+        ``recovery_events_total{action,kind}`` counter increment — this
+        method is the single chokepoint all recovery actions flow
+        through.
+        """
         event = RecoveryEvent(step=step, kind=kind, action=action,
                               attempt=attempt, detail=detail)
         self.events.append(event)
+        obs.instant(f"recovery.{action}", kind=kind.value, step=step,
+                    attempt=attempt)
+        obs.inc("recovery_events_total", action=action, kind=kind.value)
         return event
 
     def __len__(self) -> int:

@@ -26,6 +26,7 @@ from typing import Callable
 
 import numpy as np
 
+from .. import obs
 from ..errors import (
     ConfigurationError,
     ConvergenceError,
@@ -70,13 +71,14 @@ def _dense_displacements(matvec, z2: np.ndarray, scale: float,
             FailureKind.LANCZOS_NONCONVERGENCE,
             f"dense fallback refused: operator dimension {d} exceeds "
             f"dense_fallback_max_dim={policy.dense_fallback_max_dim}")
-    m = materialize_operator(matvec, d)
-    m = 0.5 * (m + m.T)  # symmetrize against operator round-off
-    try:
-        return cholesky_displacements(m, z2, scale=scale), "cholesky"
-    except NotPositiveDefiniteError:
-        # clip the (round-off) negative part of the spectrum
-        return scale * (dense_sqrtm(m, floor=0.0) @ z2), "eigh"
+    with obs.span("recovery.dense_fallback", d=d):
+        m = materialize_operator(matvec, d)
+        m = 0.5 * (m + m.T)  # symmetrize against operator round-off
+        try:
+            return cholesky_displacements(m, z2, scale=scale), "cholesky"
+        except NotPositiveDefiniteError:
+            # clip the (round-off) negative part of the spectrum
+            return scale * (dense_sqrtm(m, floor=0.0) @ z2), "eigh"
 
 
 def krylov_displacements_resilient(
@@ -117,69 +119,75 @@ def krylov_displacements_resilient(
 
     best: ConvergenceError = first
 
-    # Rung 1: Lanczos retries with grown budget, looser-then-tighter tol.
-    schedule = policy.lanczos_retry_schedule(generator.tol,
-                                             generator.max_iter)
-    for attempt, (tol, max_iter) in enumerate(schedule, start=1):
-        retry = copy.copy(generator)
-        retry.tol = tol
-        retry.max_iter = max_iter
-        try:
-            d = retry.generate(matvec, z)
-            info = retry.last_info
-            log.record(step, kind, "retry-lanczos", attempt=attempt,
-                       tol=tol, max_iter=max_iter,
-                       iterations=info.iterations if info else None)
-            return d, info
-        except ConvergenceError as exc:
-            log.record(step, classify_exception(exc), "detect",
-                       attempt=attempt, tol=tol, max_iter=max_iter,
-                       **StepFailure.from_exception(exc, step=step,
-                                                    attempt=attempt
-                                                    ).diagnostics)
-            if (exc.residual is not None and exc.best_iterate is not None
-                    and (best.residual is None
-                         or exc.residual < best.residual)):
-                best = exc
+    with obs.span("recovery.ladder", step=step, kind=kind.value):
+        # Rung 1: Lanczos retries, grown budget, looser-then-tighter tol.
+        schedule = policy.lanczos_retry_schedule(generator.tol,
+                                                 generator.max_iter)
+        for attempt, (tol, max_iter) in enumerate(schedule, start=1):
+            retry = copy.copy(generator)
+            retry.tol = tol
+            retry.max_iter = max_iter
+            try:
+                d = retry.generate(matvec, z)
+                info = retry.last_info
+                log.record(step, kind, "retry-lanczos", attempt=attempt,
+                           tol=tol, max_iter=max_iter,
+                           iterations=info.iterations if info else None)
+                return d, info
+            except ConvergenceError as exc:
+                log.record(step, classify_exception(exc), "detect",
+                           attempt=attempt, tol=tol, max_iter=max_iter,
+                           **StepFailure.from_exception(exc, step=step,
+                                                        attempt=attempt
+                                                        ).diagnostics)
+                if (exc.residual is not None
+                        and exc.best_iterate is not None
+                        and (best.residual is None
+                             or exc.residual < best.residual)):
+                    best = exc
 
-    # Rung 2: accept the best partial iterate if it is close enough.
-    z2 = np.atleast_2d(np.asarray(z).T).T
-    threshold = policy.accept_partial_rel_change
-    if (threshold is not None and best.best_iterate is not None
-            and best.residual is not None and best.residual <= threshold
-            and np.asarray(best.best_iterate).shape == z2.shape):
-        log.record(step, kind, "accept-partial",
-                   rel_change=best.residual, iterations=best.iterations)
-        y = generator.scale * np.asarray(best.best_iterate)
-        info = LanczosInfo(best.iterations or 0, False,
-                           best.residual, best.n_matvecs or 0)
-        return (y[:, 0] if np.asarray(z).ndim == 1 else y), info
-
-    # Rung 3: Chebyshev (Fixman) polynomial square root.
-    if policy.chebyshev_fallback:
-        try:
-            l_min, l_max = eigenvalue_bounds(
-                matvec, z2.shape[0],
-                n_iter=policy.chebyshev_bound_iterations)
-            y, info = chebyshev_sqrt(matvec, z2, l_min, l_max,
-                                     tol=generator.tol)
-            log.record(step, kind, "fallback-chebyshev",
-                       degree=info.iterations, l_min=l_min, l_max=l_max)
-            y = generator.scale * y
+        # Rung 2: accept the best partial iterate if close enough.
+        z2 = np.atleast_2d(np.asarray(z).T).T
+        threshold = policy.accept_partial_rel_change
+        if (threshold is not None and best.best_iterate is not None
+                and best.residual is not None
+                and best.residual <= threshold
+                and np.asarray(best.best_iterate).shape == z2.shape):
+            log.record(step, kind, "accept-partial",
+                       rel_change=best.residual,
+                       iterations=best.iterations)
+            y = generator.scale * np.asarray(best.best_iterate)
+            info = LanczosInfo(best.iterations or 0, False,
+                               best.residual, best.n_matvecs or 0)
             return (y[:, 0] if np.asarray(z).ndim == 1 else y), info
-        except ConvergenceError as exc:
-            log.record(step, classify_exception(exc), "detect",
-                       **StepFailure.from_exception(exc, step=step
-                                                    ).diagnostics)
 
-    # Rung 4: dense reference.
-    if policy.cholesky_fallback:
-        y, method = _dense_displacements(matvec, z2, generator.scale, policy)
-        log.record(step, kind, "fallback-cholesky", method=method)
-        return (y[:, 0] if np.asarray(z).ndim == 1 else y), None
+        # Rung 3: Chebyshev (Fixman) polynomial square root.
+        if policy.chebyshev_fallback:
+            try:
+                l_min, l_max = eigenvalue_bounds(
+                    matvec, z2.shape[0],
+                    n_iter=policy.chebyshev_bound_iterations)
+                y, info = chebyshev_sqrt(matvec, z2, l_min, l_max,
+                                         tol=generator.tol)
+                log.record(step, kind, "fallback-chebyshev",
+                           degree=info.iterations, l_min=l_min,
+                           l_max=l_max)
+                y = generator.scale * y
+                return (y[:, 0] if np.asarray(z).ndim == 1 else y), info
+            except ConvergenceError as exc:
+                log.record(step, classify_exception(exc), "detect",
+                           **StepFailure.from_exception(exc, step=step
+                                                        ).diagnostics)
 
-    raise StepFailure.from_exception(best, step=step,
-                                     attempt=len(schedule))
+        # Rung 4: dense reference.
+        if policy.cholesky_fallback:
+            y, method = _dense_displacements(matvec, z2, generator.scale,
+                                             policy)
+            log.record(step, kind, "fallback-cholesky", method=method)
+            return (y[:, 0] if np.asarray(z).ndim == 1 else y), None
+
+        raise StepFailure.from_exception(best, step=step,
+                                         attempt=len(schedule))
 
 
 def cholesky_displacements_resilient(

@@ -4,6 +4,12 @@ The paper's Section V instruments each PME phase separately (Fig. 5).
 :class:`PhaseTimer` accumulates named phase durations so operators can
 report a per-phase breakdown without littering the numerical code with
 timing logic.
+
+When a :mod:`repro.obs` tracer is installed and the timer carries a
+``prefix``, every outermost phase occurrence is additionally recorded
+as a trace span ``<prefix>.<name>`` — the span encloses the timer's
+own start/stop pair, so per-phase span totals are always >= (and
+within microseconds of) the accumulated timer values.
 """
 
 from __future__ import annotations
@@ -11,6 +17,8 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+
+from ..obs import trace as _trace
 
 __all__ = ["Timer", "PhaseTimer"]
 
@@ -35,7 +43,16 @@ class Timer:
     _t0: float | None = None
 
     def start(self) -> "Timer":
-        """Begin an interval; returns ``self`` for chaining."""
+        """Begin an interval; returns ``self`` for chaining.
+
+        Starting while an interval is already in flight raises
+        ``RuntimeError`` (it would silently discard the open interval —
+        the mirror image of the ``stop()``-before-``start()`` guard).
+        """
+        if self._t0 is not None:
+            raise RuntimeError(
+                "Timer.start() called with an interval already in flight; "
+                "stop() or reset() first")
         self._t0 = time.perf_counter()
         return self
 
@@ -74,19 +91,44 @@ class PhaseTimer:
     The PME operator uses phase names ``"spread"``, ``"fft"``,
     ``"influence"``, ``"ifft"``, ``"interpolate"``, ``"real"`` matching
     the paper's Fig. 5 breakdown.
+
+    :meth:`phase` is reentrant on the same name: nested occurrences are
+    depth-counted and only the outermost one starts/stops the clock, so
+    a recursive phase accumulates its wall time once instead of raising
+    or double counting.
+
+    When ``prefix`` is set (e.g. ``"pme"``) and a global
+    :mod:`repro.obs` tracer is installed, each outermost phase
+    occurrence also records a ``<prefix>.<name>`` trace span.
     """
 
     phases: dict[str, Timer] = field(default_factory=dict)
+    #: Trace-span namespace; empty disables span emission entirely.
+    prefix: str = ""
+    _depth: dict[str, int] = field(default_factory=dict, repr=False)
 
     @contextmanager
     def phase(self, name: str):
         """Context manager timing one occurrence of phase ``name``."""
         timer = self.phases.setdefault(name, Timer())
-        timer.start()
-        try:
-            yield timer
-        finally:
-            timer.stop()
+        depth = self._depth.get(name, 0)
+        self._depth[name] = depth + 1
+        if depth:
+            # reentrant occurrence: the outer frame owns the clock
+            try:
+                yield timer
+            finally:
+                self._depth[name] -= 1
+            return
+        span = (_trace.span(f"{self.prefix}.{name}") if self.prefix
+                else _trace.NULL_SPAN)
+        with span:
+            timer.start()
+            try:
+                yield timer
+            finally:
+                timer.stop()
+                self._depth[name] -= 1
 
     def elapsed(self, name: str) -> float:
         """Total time accumulated in phase ``name`` (0 if never run)."""

@@ -37,6 +37,6 @@ def test_prediction_brackets_measurement():
     op = PMEOperator(r, box, PMEParams(xi=1.0, r_max=4.0, K=K, p=p))
     f = rng.standard_normal(3 * n)
     measured = measure_seconds(lambda: op.apply_reciprocal(f), repeats=3,
-                               warmup=1)
+                               warmup=1).best
     predicted = model.t_reciprocal(n, K, p)
     assert predicted / 10 < measured < predicted * 10

@@ -43,6 +43,21 @@ def test_simulate_ewald_backend(tmp_path):
     assert traj.n_particles == 20
 
 
+def test_profile_prints_phase_table(tmp_path, capsys):
+    metrics = tmp_path / "m.prom"
+    rc = main(["profile", "-n", "30", "--phi", "0.1", "--steps", "2",
+               "--e-p", "1e-2", "--metrics", str(metrics)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    for phase in ("spread", "fft", "influence", "ifft", "interpolate",
+                  "real"):
+        assert phase in out
+    assert "meas/pred" in out
+    assert metrics.exists()
+    from repro.obs.schema import validate_prometheus_text
+    validate_prometheus_text(metrics.read_text())
+
+
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])

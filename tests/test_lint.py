@@ -1,4 +1,4 @@
-"""Tests of the static layer: rules RPR001-RPR008, CLI, output formats."""
+"""Tests of the static layer: rules RPR001-RPR009, CLI, output formats."""
 
 from __future__ import annotations
 
@@ -30,12 +30,12 @@ def rule_ids(source: str) -> list[str]:
 # the registry itself
 # ----------------------------------------------------------------------
 
-def test_at_least_eight_rules_registered():
+def test_at_least_nine_rules_registered():
     rules = all_rules()
-    assert len(rules) >= 8
+    assert len(rules) >= 9
     ids = [r.meta.id for r in rules]
     assert ids == sorted(ids)
-    for expected in [f"RPR00{k}" for k in range(1, 9)]:
+    for expected in [f"RPR00{k}" for k in range(1, 10)]:
         assert expected in ids
 
 
@@ -278,6 +278,53 @@ def test_rpr008_flags_assert():
 
 
 # ----------------------------------------------------------------------
+# RPR009 direct wall-clock reads
+# ----------------------------------------------------------------------
+
+def test_rpr009_flags_time_module_clocks():
+    findings = rule_ids("""
+        import time
+
+        def work():
+            t0 = time.perf_counter()
+            step()
+            return time.perf_counter() - t0
+    """)
+    assert findings.count("RPR009") == 2
+
+
+def test_rpr009_flags_imported_clock_name():
+    assert "RPR009" in rule_ids("""
+        from time import monotonic
+
+        def stamp():
+            return monotonic()
+    """)
+
+
+def test_rpr009_ignores_bare_time_call():
+    # `time` alone is too common a user symbol (e.g. a parameter) to flag
+    assert "RPR009" not in rule_ids("""
+        def advance(time):
+            return time() + 1
+    """)
+
+
+def test_rpr009_exempts_timing_bench_obs_and_tests():
+    snippet = dedent("""
+        import time
+        T0 = time.perf_counter()
+    """)
+    for path in ("src/repro/utils/timing.py", "src/repro/obs/trace.py",
+                 "src/repro/bench/harness.py", "benchmarks/bench_fig5.py",
+                 "tests/test_timing.py"):
+        assert all(f.rule != "RPR009"
+                   for f in lint_source(snippet, path)), path
+    assert any(f.rule == "RPR009"
+               for f in lint_source(snippet, "src/repro/pme/spread.py"))
+
+
+# ----------------------------------------------------------------------
 # noqa suppression and parse failures
 # ----------------------------------------------------------------------
 
@@ -372,7 +419,7 @@ def test_cli_missing_path_is_usage_error(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert lint_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    assert "RPR001" in out and "RPR008" in out
+    assert "RPR001" in out and "RPR009" in out
 
 
 def _validate_against_schema(doc: dict) -> None:

@@ -38,6 +38,14 @@ class TestTimer:
         with pytest.raises(RuntimeError):
             Timer().stop()
 
+    def test_start_while_running_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+        # the in-flight interval survives the failed start
+        assert t.stop() >= 0.0
+        assert t.count == 1
+
 
 class TestPhaseTimer:
     def test_phases_accumulate_independently(self):
@@ -61,6 +69,23 @@ class TestPhaseTimer:
         assert "x" in pt.breakdown()
         pt.reset()
         assert pt.total == 0.0
+
+    def test_reentrant_phase(self):
+        # recursive entry into the same phase must not double-count:
+        # only the outermost occurrence accumulates
+        pt = PhaseTimer()
+        with pt.phase("x"):
+            with pt.phase("x"):
+                time.sleep(0.002)
+        assert pt.phases["x"].count == 1
+        assert pt.elapsed("x") >= 0.002
+
+    def test_distinct_phases_nest(self):
+        pt = PhaseTimer()
+        with pt.phase("outer"):
+            with pt.phase("inner"):
+                time.sleep(0.001)
+        assert pt.elapsed("outer") >= pt.elapsed("inner") > 0.0
 
 
 class TestValidation:
