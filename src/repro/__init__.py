@@ -58,6 +58,7 @@ from .rpy import (
     EwaldSummation,
 )
 from .pme import (
+    MobilityCache,
     PMEOperator,
     PMEParams,
     tune_parameters,
@@ -65,6 +66,10 @@ from .pme import (
 )
 from .krylov import lanczos_sqrt, block_lanczos_sqrt
 from .core import (
+    MobilityOperator,
+    DenseMobilityMatrix,
+    CallableMobility,
+    as_mobility,
     Simulation,
     Trajectory,
     EwaldBD,
@@ -115,12 +120,17 @@ __all__ = [
     "mobility_matrix_free",
     "ewald_mobility_matrix",
     "EwaldSummation",
+    "MobilityCache",
     "PMEOperator",
     "PMEParams",
     "tune_parameters",
     "pme_relative_error",
     "lanczos_sqrt",
     "block_lanczos_sqrt",
+    "MobilityOperator",
+    "DenseMobilityMatrix",
+    "CallableMobility",
+    "as_mobility",
     "Simulation",
     "Trajectory",
     "EwaldBD",

@@ -12,6 +12,12 @@ plus the force models of Section V.A and the
 trajectories for analysis.
 """
 
+from .mobility import (
+    MobilityOperator,
+    DenseMobilityMatrix,
+    CallableMobility,
+    as_mobility,
+)
 from .forces import (
     ForceField,
     RepulsiveHarmonic,
@@ -43,6 +49,10 @@ from .observables import (
 )
 
 __all__ = [
+    "MobilityOperator",
+    "DenseMobilityMatrix",
+    "CallableMobility",
+    "as_mobility",
     "ForceField",
     "RepulsiveHarmonic",
     "HarmonicBonds",

@@ -15,7 +15,7 @@ one per inner time step.
 from __future__ import annotations
 
 import math
-from typing import Callable
+from typing import Any
 
 import numpy as np
 
@@ -24,13 +24,18 @@ from ..krylov.chebyshev import chebyshev_sqrt, eigenvalue_bounds
 from ..krylov.lanczos import LanczosInfo
 from ..krylov.reference import cholesky_displacements
 from ..lint.contracts import array_arg, spd_arg
+from ..utils.params import keyword_only
 
 __all__ = ["CholeskyBrownianGenerator", "KrylovBrownianGenerator",
            "ChebyshevBrownianGenerator"]
 
 
+@keyword_only
 class CholeskyBrownianGenerator:
     """Dense-matrix Brownian displacements (Algorithm 1, lines 5-7).
+
+    Construct with keyword arguments (positional construction warns
+    once; ``replace(**changes)`` returns a reconfigured copy).
 
     Parameters
     ----------
@@ -48,6 +53,7 @@ class CholeskyBrownianGenerator:
         return cholesky_displacements(mobility, z, scale=self.scale)
 
 
+@keyword_only
 class KrylovBrownianGenerator:
     """Matrix-free Brownian displacements (Algorithm 2, line 6).
 
@@ -60,6 +66,9 @@ class KrylovBrownianGenerator:
         iteration (paper Table II varies 1e-6 .. 1e-2).
     max_iter:
         Iteration cap forwarded to the solver.
+
+    Construct with keyword arguments (positional construction warns
+    once; ``replace(**changes)`` returns a reconfigured copy).
     """
 
     def __init__(self, kT: float, dt: float, tol: float = 1e-2,
@@ -71,9 +80,13 @@ class KrylovBrownianGenerator:
         self.last_info: LanczosInfo | None = None
 
     @array_arg("z", ndim=(1, 2))
-    def generate(self, matvec: Callable[[np.ndarray], np.ndarray],
-                 z: np.ndarray) -> np.ndarray:
-        """``D = sqrt(2 kT dt) M^(1/2) Z`` via block Lanczos on ``matvec``.
+    def generate(self, matvec: Any, z: np.ndarray) -> np.ndarray:
+        """``D = sqrt(2 kT dt) M^(1/2) Z`` via block Lanczos.
+
+        ``matvec`` may be a
+        :class:`~repro.core.mobility.MobilityOperator` (each Lanczos
+        iteration then issues one batched ``apply_block``), a dense
+        matrix, or a legacy ``matvec`` callable.
 
         Blocks wider than the operator dimension (tiny systems with a
         large ``lambda_RPY``) are processed in chunks of at most ``d``
@@ -101,6 +114,7 @@ class KrylovBrownianGenerator:
         return self.scale * y
 
 
+@keyword_only
 class ChebyshevBrownianGenerator:
     """Fixman-style Brownian displacements via Chebyshev polynomials.
 
@@ -121,6 +135,9 @@ class ChebyshevBrownianGenerator:
         (plays the role of ``e_k``).
     bound_iterations:
         Lanczos steps used to estimate the spectral interval.
+
+    Construct with keyword arguments (positional construction warns
+    once; ``replace(**changes)`` returns a reconfigured copy).
     """
 
     def __init__(self, kT: float, dt: float, tol: float = 1e-2,
@@ -134,9 +151,12 @@ class ChebyshevBrownianGenerator:
         self.last_bounds: tuple[float, float] | None = None
 
     @array_arg("z", ndim=(1, 2))
-    def generate(self, matvec: Callable[[np.ndarray], np.ndarray],
-                 z: np.ndarray) -> np.ndarray:
-        """``D = sqrt(2 kT dt) M^(1/2) Z`` via a Chebyshev polynomial."""
+    def generate(self, matvec: Any, z: np.ndarray) -> np.ndarray:
+        """``D = sqrt(2 kT dt) M^(1/2) Z`` via a Chebyshev polynomial.
+
+        ``matvec`` accepts the same operator forms as
+        :meth:`KrylovBrownianGenerator.generate`.
+        """
         z2 = np.atleast_2d(z.T).T
         l_min, l_max = eigenvalue_bounds(matvec, z2.shape[0],
                                          n_iter=self.bound_iterations)

@@ -27,6 +27,7 @@ import numpy as np
 from .. import obs
 from ..errors import ConfigurationError
 from ..geometry.box import Box
+from ..pme.cache import MobilityCache
 from ..pme.operator import PMEOperator, PMEParams
 from ..pme.tuning import tune_parameters
 from ..resilience.failures import FailureKind, StepFailure
@@ -320,9 +321,9 @@ class EwaldBD(BrownianDynamicsBase):
                  recovery: RecoveryPolicy | None = None):
         super().__init__(box, fluid, force_field, dt, lambda_rpy, seed,
                          recovery=recovery)
-        self._summation = EwaldSummation(box, fluid=fluid, xi=xi,
+        self._summation = EwaldSummation(box=box, fluid=fluid, xi=xi,
                                          tol=ewald_tol)
-        self._generator = CholeskyBrownianGenerator(fluid.kT, dt)
+        self._generator = CholeskyBrownianGenerator(kT=fluid.kT, dt=dt)
         self._matrix: np.ndarray | None = None
 
     def _prepare(self, positions: np.ndarray) -> None:
@@ -390,9 +391,11 @@ class MatrixFreeBD(BrownianDynamicsBase):
         self.target_ep = float(target_ep)
         self.store_p = bool(store_p)
         self.neighbor_backend = neighbor_backend
-        self._generator = KrylovBrownianGenerator(fluid.kT, dt, tol=e_k,
+        self._generator = KrylovBrownianGenerator(kT=fluid.kT, dt=dt, tol=e_k,
                                                   max_iter=max_krylov_iter)
         self._operator: PMEOperator | None = None
+        #: Position-independent PME state reused across mobility rebuilds.
+        self._mobility_cache = MobilityCache()
 
     def _prepare(self, positions: np.ndarray) -> None:
         if self.pme_params is None:
@@ -401,7 +404,8 @@ class MatrixFreeBD(BrownianDynamicsBase):
                 fluid=self.fluid)
         self._operator = PMEOperator(
             positions, self.box, self.pme_params, fluid=self.fluid,
-            neighbor_backend=self.neighbor_backend, store_p=self.store_p)
+            neighbor_backend=self.neighbor_backend, store_p=self.store_p,
+            cache=self._mobility_cache)
 
     def _apply_mobility(self, forces_flat: np.ndarray) -> np.ndarray:
         return self._operator.apply(forces_flat)
@@ -409,12 +413,14 @@ class MatrixFreeBD(BrownianDynamicsBase):
     def _generate_displacements(self, n_cols: int,
                                 stats: BDStepStats) -> np.ndarray:
         z = self.rng.standard_normal((3 * self._operator.n, n_cols))
+        # hand the operator itself (not a bound matvec) down: block
+        # Lanczos then issues one batched apply_block per iteration
         if self.recovery is None:
-            d = self._generator.generate(self._operator.apply, z)
+            d = self._generator.generate(self._operator, z)
             iters = self._generator.last_info.iterations
         else:
             d, info = krylov_displacements_resilient(
-                self._generator, self._operator.apply, z, self.recovery,
+                self._generator, self._operator, z, self.recovery,
                 stats.recovery, step=stats.n_steps)
             iters = info.iterations if info is not None else 0
         stats.krylov_iterations.append(iters)

@@ -20,7 +20,7 @@ criterion is the Frobenius-norm relative update, matching the paper's
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Any
 
 import numpy as np
 import scipy.linalg
@@ -50,15 +50,18 @@ def _block_tridiag_sqrt_first(blocks_a: list[np.ndarray],
 
 
 @array_arg("z", ndim=(2,))
-def block_lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
-                       z: np.ndarray, tol: float = 1e-2, max_iter: int = 200,
-                       reorthogonalize: bool = True
+def block_lanczos_sqrt(matvec: Any, z: np.ndarray, tol: float = 1e-2,
+                       max_iter: int = 200, reorthogonalize: bool = True
                        ) -> tuple[np.ndarray, LanczosInfo]:
     """Approximate ``M^(1/2) Z`` for a block ``Z`` of shape ``(d, s)``.
 
-    Parameters mirror :func:`repro.krylov.lanczos.lanczos_sqrt`; the
-    operator is applied to ``(d, s)`` blocks.  Returns ``(Y, info)``
-    with ``Y`` of shape ``(d, s)``.
+    Parameters mirror :func:`repro.krylov.lanczos.lanczos_sqrt`.
+    ``matvec`` may be a :class:`~repro.core.mobility.MobilityOperator`
+    (preferred — each iteration issues **one** batched
+    ``apply_block``), a dense matrix, or a legacy ``matvec`` callable
+    (wrapped via :func:`~repro.core.mobility.as_mobility`; callables
+    that accept column blocks keep their block behaviour).  Returns
+    ``(Y, info)`` with ``Y`` of shape ``(d, s)``.
 
     Rank deficiency of a new block (an invariant subspace) terminates
     the expansion; the current iterate is then exact on the subspace
@@ -77,6 +80,8 @@ def block_lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
     if s > d:
         raise ValueError(f"block size {s} exceeds dimension {d}")
 
+    from ..core.mobility import as_mobility  # deferred: import cycle
+    operator = as_mobility(matvec, dim=d)
     v1, r1 = np.linalg.qr(z)           # Z = V_1 R_1
     max_iter = min(max_iter, d // s)
     basis = [v1]
@@ -94,7 +99,8 @@ def block_lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
     with obs.span("krylov.block_lanczos", d=d, s=s, tol=tol):
         for m in range(1, max_iter + 1):
             v = basis[-1]
-            w = np.asarray(matvec(v), dtype=np.float64)
+            # one batched multi-RHS application per iteration
+            w = np.asarray(operator.apply_block(v), dtype=np.float64)
             n_matvecs += s
             a = v.T @ w
             a = 0.5 * (a + a.T)        # symmetrize against round-off

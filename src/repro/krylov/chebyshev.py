@@ -61,6 +61,8 @@ def eigenvalue_bounds(matvec: Callable[[np.ndarray], np.ndarray], dim: int,
     """
     rng = (seed if isinstance(seed, np.random.Generator)
            else np.random.default_rng(seed))
+    from ..core.mobility import as_mobility  # deferred: import cycle
+    operator = as_mobility(matvec, dim=dim)
     n_iter = min(n_iter, dim)
     v = rng.standard_normal(dim)
     v /= np.linalg.norm(v)
@@ -69,7 +71,8 @@ def eigenvalue_bounds(matvec: Callable[[np.ndarray], np.ndarray], dim: int,
     beta: list[float] = []
     with obs.span("krylov.bounds", d=dim, n_iter=n_iter):
         for m in range(n_iter):
-            w = np.array(matvec(basis[-1]), dtype=np.float64, copy=True)
+            w = np.array(operator.apply(basis[-1]), dtype=np.float64,
+                         copy=True)
             a = float(basis[-1] @ w)
             alpha.append(a)
             w -= a * basis[-1]
@@ -174,6 +177,8 @@ def chebyshev_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
     z = np.asarray(z, dtype=np.float64)
     flat = z.ndim == 1
     zb = z[:, None] if flat else z
+    from ..core.mobility import as_mobility  # deferred: import cycle
+    operator = as_mobility(matvec, dim=int(zb.shape[0]))
     c, err, converged = _best_coefficients(l_min, l_max, tol, max_degree)
     degree = c.size - 1
     s = zb.shape[1]
@@ -182,8 +187,9 @@ def chebyshev_sqrt(matvec: Callable[[np.ndarray], np.ndarray],
     shift = (l_max + l_min) / (l_max - l_min)
 
     def t_apply(v):
-        """Application of the scaled operator ``t(M) = scale M - shift``."""
-        return scale * np.asarray(matvec(v)) - shift * v
+        """Application of the scaled operator ``t(M) = scale M - shift``
+        — one batched multi-RHS product for the whole block."""
+        return scale * np.asarray(operator.apply_block(v)) - shift * v
 
     # Clenshaw recurrence on the block
     b1 = np.zeros_like(zb)

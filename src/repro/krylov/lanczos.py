@@ -76,7 +76,9 @@ def lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray], z: np.ndarray,
     Parameters
     ----------
     matvec:
-        The SPD operator application (e.g. ``PMEOperator.apply``).
+        The SPD operator: a :class:`~repro.core.mobility.MobilityOperator`,
+        a dense matrix, or a legacy ``matvec`` callable (normalized via
+        :func:`~repro.core.mobility.as_mobility`).
     z:
         Starting vector, shape ``(d,)``.
     tol:
@@ -103,6 +105,8 @@ def lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray], z: np.ndarray,
         return np.zeros_like(z), LanczosInfo(0, True, 0.0, 0)
 
     d = z.shape[0]
+    from ..core.mobility import as_mobility  # deferred: import cycle
+    operator = as_mobility(matvec, dim=d)
     max_iter = min(max_iter, d)
     basis = np.empty((max_iter + 1, d))
     basis[0] = z / norm_z
@@ -122,7 +126,7 @@ def lanczos_sqrt(matvec: Callable[[np.ndarray], np.ndarray], z: np.ndarray,
             v = basis[m - 1]
             # copy: a matvec may return its input (e.g. the identity),
             # and w is updated in place below
-            w = np.array(matvec(v), dtype=np.float64, copy=True)
+            w = np.array(operator.apply(v), dtype=np.float64, copy=True)
             n_matvecs += 1
             a = float(v @ w)
             alpha.append(a)

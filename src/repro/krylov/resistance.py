@@ -35,7 +35,8 @@ def solve_resistance(matvec: Callable[[np.ndarray], np.ndarray],
     Parameters
     ----------
     matvec:
-        SPD mobility application (e.g. ``PMEOperator.apply``).
+        SPD mobility: a :class:`~repro.core.mobility.MobilityOperator`,
+        a dense matrix, or a legacy ``matvec`` callable.
     velocities:
         Target velocities, shape ``(d,)`` or ``(d, s)`` (each column
         solved independently).
@@ -54,13 +55,15 @@ def solve_resistance(matvec: Callable[[np.ndarray], np.ndarray],
     flat = u.ndim == 1
     ub = u[:, None] if flat else u
     d, s = ub.shape
+    from ..core.mobility import as_mobility  # deferred: import cycle
+    operator = as_mobility(matvec, dim=d)
 
     n_matvecs = 0
 
     def counted(v):
         nonlocal n_matvecs
         n_matvecs += 1
-        return matvec(v)
+        return operator.apply(v)
 
     op = LinearOperator((d, d), matvec=counted, dtype=np.float64)
     out = np.empty_like(ub)

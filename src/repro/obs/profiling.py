@@ -126,7 +126,10 @@ def run_profile(n: int = 1000, phi: float = 0.2, steps: int = 5,
 
     totals = tracer.totals()
     counts = tracer.counts()
-    n_apps = counts.get("pme.fft", 0)
+    # one batched apply_block pass carries s vectors (span arg
+    # ``vectors``); legacy single-vector passes default to 1
+    n_apps = sum(int(e.args.get("vectors", 1)) for e in tracer.events
+                 if e.name == "pme.fft" and e.phase == "X")
 
     model = PMECostModel(HOST)
     per_apply = model.breakdown(n, params.K, params.p)

@@ -30,6 +30,7 @@ from .mesh import Mesh
 from .spread import InterpolationMatrix, spread_on_the_fly, interpolate_on_the_fly
 from .influence import InfluenceFunction
 from .realspace import RealSpaceOperator
+from .cache import MobilityCache
 from .operator import PMEOperator, PMEParams
 from .tuning import tune_parameters, estimate_errors
 from .accuracy import pme_relative_error
@@ -44,6 +45,7 @@ __all__ = [
     "interpolate_on_the_fly",
     "InfluenceFunction",
     "RealSpaceOperator",
+    "MobilityCache",
     "PMEOperator",
     "PMEParams",
     "tune_parameters",

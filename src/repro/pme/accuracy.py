@@ -36,7 +36,7 @@ def reference_operator(positions, box: Box, params: PMEParams,
     r = np.asarray(positions, dtype=np.float64)
     n = r.shape[0]
     if n <= DENSE_REFERENCE_LIMIT:
-        matrix = EwaldSummation(box, fluid=fluid, tol=1e-12).matrix(r)
+        matrix = EwaldSummation(box=box, fluid=fluid, tol=1e-12).matrix(r)
         return lambda f: matrix @ f
     fine = PMEParams(
         xi=params.xi,

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.fft as sfft
 from scipy.sparse.linalg import LinearOperator
 
 from .. import obs
@@ -30,8 +31,10 @@ from ..errors import ConfigurationError
 from ..geometry.box import Box
 from ..lint.contracts import force_block_arg, positions_arg
 from ..units import FluidParams, REDUCED
+from ..utils.params import keyword_only
 from ..utils.timing import PhaseTimer
 from ..utils.validation import as_force_block, as_positions
+from .cache import MobilityCache
 from .influence import InfluenceFunction
 from .mesh import Mesh
 from .realspace import RealSpaceOperator
@@ -40,6 +43,16 @@ from .spread import InterpolationMatrix, interpolate_on_the_fly, spread_on_the_f
 __all__ = ["PMEParams", "PMEOperator"]
 
 
+def _rfftn_into(src: np.ndarray, dst: np.ndarray) -> None:
+    """Forward r2c FFT into a preallocated spectrum (NumPy >= 2 has
+    ``out=``; older versions pay one assignment copy)."""
+    try:
+        np.fft.rfftn(src, out=dst)
+    except TypeError:  # pragma: no cover - numpy < 2
+        dst[...] = np.fft.rfftn(src)
+
+
+@keyword_only
 @dataclass(frozen=True)
 class PMEParams:
     """The PME parameter set of the paper's Table III.
@@ -108,6 +121,12 @@ class PMEOperator:
         and interpolation recompute spline weights on the fly.
     real_engine:
         ``"scipy"`` or ``"bcsr"`` SpMV engine for the real-space term.
+    cache:
+        Optional :class:`~repro.pme.cache.MobilityCache`: reuses the
+        position-independent state (mesh, influence function, batched
+        workspaces) across operator rebuilds — the mobility-reuse
+        optimization of Algorithm 2, where a fresh operator is built
+        every ``lambda_RPY`` steps.
 
     Notes
     -----
@@ -119,27 +138,37 @@ class PMEOperator:
     @positions_arg()
     def __init__(self, positions, box: Box, params: PMEParams,
                  fluid: FluidParams = REDUCED, neighbor_backend: str = "cells",
-                 store_p: bool = True, real_engine: str = "scipy"):
+                 store_p: bool = True, real_engine: str = "scipy",
+                 cache: MobilityCache | None = None):
         self.positions = as_positions(positions).copy()
         self.n = self.positions.shape[0]
         self.box = box
         self.params = params
         self.fluid = fluid
-        self.mesh = Mesh(box, params.K)
+        self.cache = cache
+        self.mesh = (cache.mesh(box, params.K) if cache is not None
+                     else Mesh(box, params.K))
         self.store_p = bool(store_p)
         self.timers = PhaseTimer(prefix="pme")
         #: Total number of operator applications (column counts included).
         self.n_applications = 0
+        #: Batched-pipeline workspaces when no shared cache is set,
+        #: keyed by lane count (allocated on first apply_block).
+        self._workspaces: dict[tuple[int, int, int], dict] = {}
 
         with self.timers.phase("construct_p"):
             self.interp = (InterpolationMatrix(self.positions, box,
                                                params.K, params.p,
                                                kind=params.interpolation)
                            if store_p else None)
-        self.influence = InfluenceFunction(self.mesh, params.xi, params.p,
-                                           fluid.radius,
-                                           interpolation=params.interpolation,
-                                           kernel=params.kernel)
+        if cache is not None:
+            self.influence = cache.influence(
+                self.mesh, params.xi, params.p, fluid.radius,
+                interpolation=params.interpolation, kernel=params.kernel)
+        else:
+            self.influence = InfluenceFunction(
+                self.mesh, params.xi, params.p, fluid.radius,
+                interpolation=params.interpolation, kernel=params.kernel)
         with self.timers.phase("construct_real"):
             self.real = RealSpaceOperator(
                 self.positions, box, params.xi, params.r_max, fluid=fluid,
@@ -173,7 +202,102 @@ class PMEOperator:
         return out[:, 0] if flat else out
 
     def __call__(self, forces) -> np.ndarray:
+        from ..core.mobility import warn_call_shim  # deferred: import cycle
+        warn_call_shim(type(self).__name__)
         return self.apply(forces)
+
+    def _workspace(self, lanes: int) -> dict:
+        """Batched-pipeline scratch arrays for ``lanes = 3 s``."""
+        if self.cache is not None:
+            return self.cache.workspace(self.params.K, lanes, self.n)
+        key = (self.params.K, lanes, self.n)
+        ws = self._workspaces.get(key)
+        if ws is None:
+            K = self.params.K
+            ws = {
+                "mesh": np.empty((lanes, K ** 3)),
+                "spec": np.empty((lanes, K, K, K // 2 + 1),
+                                 dtype=np.complex128),
+                "particle": np.empty((lanes, self.n)),
+            }
+            self._workspaces[key] = ws
+        return ws
+
+    @force_block_arg()
+    def apply_block(self, forces) -> np.ndarray:
+        """Batched ``U = M F`` for a block ``F`` of shape ``(3n, s)``.
+
+        Produces the same operator action as ``s`` :meth:`apply` calls
+        but amortizes the whole reciprocal pipeline across the block
+        (paper Sections IV.A-IV.C):
+
+        * one sparse spread product for all ``3s`` mesh components,
+        * ``3s`` contiguous forward r2c FFTs into one stacked
+          half-spectrum, and a *stacked* inverse transform (one batched
+          c2c pass over the two full axes + one batched c2r pass over
+          the half axis),
+        * the influence function applied slab-fused over all vectors
+          (``khat``/scalar grids read once per slab, not once per
+          vector),
+        * one BCSR SpMM for the real-space term (each 3x3 block
+          streamed once against all ``s`` lanes).
+
+        Workspaces come from the :class:`~repro.pme.cache.MobilityCache`
+        when one is attached, so repeated block applications (block
+        Lanczos iterations, consecutive mobility updates) allocate
+        nothing.
+        """
+        f, flat = as_force_block(forces, self.n)
+        f = np.ascontiguousarray(f)
+        n, s = self.n, f.shape[1]
+        K = self.params.K
+        lanes = 3 * s                       # lane b = component*s + vector
+        ws = self._workspace(lanes)
+        g, spec = ws["mesh"], ws["spec"]
+
+        fm = f.reshape(n, 3, s).reshape(n, lanes)
+        with self.timers.phase("spread", vectors=s):
+            if self.interp is not None:
+                self.interp.spread_batch(fm, out=g)
+            else:
+                gm = spread_on_the_fly(self.positions, self.box, K,
+                                       self.params.p, fm,
+                                       kind=self.params.interpolation)
+                for lo in range(0, K ** 3, 16384):
+                    hi = min(lo + 16384, K ** 3)
+                    g[:, lo:hi] = gm[lo:hi].T
+
+        gl = g.reshape(lanes, K, K, K)
+        with self.timers.phase("fft", vectors=s):
+            for b in range(lanes):
+                _rfftn_into(gl[b], spec[b])
+
+        with self.timers.phase("influence", vectors=s):
+            self.influence.apply_batch(spec.reshape((3, s) + self.mesh.rshape))
+
+        with self.timers.phase("ifft", vectors=s):
+            # decomposed inverse: batched c2c over the two full axes,
+            # then one batched c2r transform on the half axis
+            tmp = sfft.ifftn(spec, axes=(1, 2), overwrite_x=True)
+            u = sfft.irfft(tmp, n=K, axis=3, overwrite_x=True)
+
+        with self.timers.phase("interpolate", vectors=s):
+            ub = u.reshape(lanes, K ** 3)
+            if self.interp is not None:
+                um = self.interp.interpolate_batch(ub, out=ws["particle"])
+                recip = um.reshape(3, s, n).transpose(2, 0, 1).reshape(3 * n, s)
+            else:
+                um = interpolate_on_the_fly(self.positions, self.box, K,
+                                            self.params.p, ub.T,
+                                            kind=self.params.interpolation)
+                recip = um.reshape(n, 3, s).reshape(3 * n, s).copy()
+
+        with self.timers.phase("real", vectors=s):
+            recip += self.real.apply_block(f)
+        recip *= self.fluid.mobility0
+        self.n_applications += s
+        obs.inc("pme_applications_total", s)
+        return recip[:, 0] if flat else recip
 
     def apply_real(self, forces) -> np.ndarray:
         """Real-space + self contribution in ``mu0`` units."""
@@ -235,9 +359,13 @@ class PMEOperator:
     # ------------------------------------------------------------------
 
     def as_linear_operator(self) -> LinearOperator:
-        """A :class:`scipy.sparse.linalg.LinearOperator` view of ``M``."""
+        """A :class:`scipy.sparse.linalg.LinearOperator` view of ``M``.
+
+        Multi-vector products go through the batched
+        :meth:`apply_block` fast path.
+        """
         return LinearOperator(
-            shape=self.shape, matvec=self.apply, matmat=self.apply,
+            shape=self.shape, matvec=self.apply, matmat=self.apply_block,
             rmatvec=self.apply, dtype=np.float64)
 
     def to_dense(self) -> np.ndarray:

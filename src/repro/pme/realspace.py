@@ -127,6 +127,19 @@ class RealSpaceOperator:
                 out = self.bcsr.matvec(f)
         return out[:, 0] if flat else out
 
+    def apply_block(self, forces) -> np.ndarray:
+        """Multi-RHS real-space product via BCSR SpMM.
+
+        Unlike :meth:`apply` (which on the SciPy engine loops the RHS
+        columns inside ``csr_matvecs``), this streams each 3x3 block
+        once against all ``s`` lanes through
+        :meth:`~repro.sparse.bcsr.BlockCSR.matmat` — the paper's
+        Section IV.C block-of-vectors SpMV.
+        """
+        f, _ = as_force_block(forces, self.n)
+        with obs.span("pme.real_spmm", s=int(f.shape[1])):
+            return self.bcsr.matmat(f)
+
     @property
     def memory_bytes(self) -> int:
         """Bytes of the stored sparse operator."""

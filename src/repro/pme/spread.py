@@ -132,6 +132,70 @@ class InterpolationMatrix:
         """Interpolate mesh values at the particle locations: ``P mesh``."""
         return self.matrix @ mesh_values
 
+    def spread_batch(self, values: np.ndarray,
+                     out: np.ndarray | None = None,
+                     chunk: int = 16384) -> np.ndarray:
+        """Spread a lane block to *batch-first* mesh layout.
+
+        Parameters
+        ----------
+        values:
+            Shape ``(n, B)`` — ``B`` lanes (components x vectors) of
+            per-particle values.
+        out:
+            Optional preallocated ``(B, K^3)`` output (the batched
+            pipeline reuses one across applications).
+
+        Returns
+        -------
+        ``(B, K^3)`` array: lane ``b`` is the C-contiguous mesh field
+        ``P^T values[:, b]``, ready for a contiguous in-place FFT.
+
+        Notes
+        -----
+        The sparse product naturally produces ``(K^3, B)`` (lane-last);
+        the batched FFTs want lane-*first*.  Transposing the ~``8 B
+        K^3``-byte intermediate in one strided pass thrashes the TLB,
+        so the bridge runs in row chunks that fit in cache.
+        """
+        gm = self._transpose @ values
+        k3, b = gm.shape
+        if out is None:
+            out = np.empty((b, k3))
+        for lo in range(0, k3, chunk):
+            hi = min(lo + chunk, k3)
+            out[:, lo:hi] = gm[lo:hi].T
+        return out
+
+    def interpolate_batch(self, mesh_values: np.ndarray,
+                          out: np.ndarray | None = None) -> np.ndarray:
+        """Interpolate a batch-first mesh block back to the particles.
+
+        Parameters
+        ----------
+        mesh_values:
+            Shape ``(B, K^3)`` — one C-contiguous mesh field per lane.
+        out:
+            Optional preallocated ``(B, n)`` output.
+
+        Returns
+        -------
+        ``(B, n)`` array with ``out[b] = P mesh_values[b]``.
+
+        Notes
+        -----
+        SciPy's CSR multi-vector product walks the operand columns one
+        at a time, so handing it ``mesh_values.T`` would first pay a
+        full transposed copy for nothing; one compiled SpMV per lane on
+        the already-contiguous rows is faster.
+        """
+        b = mesh_values.shape[0]
+        if out is None:
+            out = np.empty((b, self.n))
+        for lane in range(b):
+            out[lane] = self.matrix @ mesh_values[lane]
+        return out
+
     @property
     def memory_bytes(self) -> int:
         """Bytes held by ``P`` (values + column indices + row pointers).

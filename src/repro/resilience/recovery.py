@@ -22,7 +22,7 @@ unguarded code, so enabling a policy does not perturb trajectories.
 from __future__ import annotations
 
 import copy
-from typing import Callable
+from typing import Any
 
 import numpy as np
 
@@ -42,22 +42,23 @@ __all__ = ["krylov_displacements_resilient",
            "cholesky_displacements_resilient", "materialize_operator"]
 
 
-def materialize_operator(matvec: Callable[[np.ndarray], np.ndarray],
-                         dim: int) -> np.ndarray:
+def materialize_operator(matvec: Any, dim: int) -> np.ndarray:
     """Dense ``(dim, dim)`` matrix of a matrix-free operator.
 
-    Tries one block application to the identity (the PME operator
-    accepts ``(3n, s)`` blocks); falls back to column-by-column
-    application for operators that only take vectors.
+    Accepts anything :func:`~repro.core.mobility.as_mobility` does: a
+    :class:`~repro.core.mobility.MobilityOperator`, a dense matrix or a
+    legacy matvec callable.  A dense operator is returned directly;
+    anything else is applied column by column — ``apply_block`` on a
+    ``(dim, dim)`` identity would make batched operators (PME) allocate
+    ``O(dim K^3)`` mesh workspaces for a last-resort path.
     """
+    from ..core.mobility import DenseMobilityMatrix, as_mobility  # cycle
+    operator = as_mobility(matvec, dim=dim)
+    if isinstance(operator, DenseMobilityMatrix):
+        return operator.matrix.astype(np.float64, copy=True)
     eye = np.eye(dim)
-    try:
-        m = np.asarray(matvec(eye), dtype=np.float64)
-        if m.shape == (dim, dim):
-            return m
-    except (TypeError, ValueError):
-        pass  # vector-only operator: rejects a (dim, dim) block
-    cols = [np.asarray(matvec(eye[:, j]), dtype=np.float64).reshape(dim)
+    cols = [np.asarray(operator.apply(eye[:, j]),
+                       dtype=np.float64).reshape(dim)
             for j in range(dim)]
     return np.column_stack(cols)
 
@@ -82,7 +83,7 @@ def _dense_displacements(matvec, z2: np.ndarray, scale: float,
 
 
 def krylov_displacements_resilient(
-        generator, matvec: Callable[[np.ndarray], np.ndarray],
+        generator, matvec: Any,
         z: np.ndarray, policy: RecoveryPolicy, log: RecoveryLog,
         step: int) -> tuple[np.ndarray, LanczosInfo | None]:
     """``sqrt(2 kT dt) M^(1/2) Z`` with the full recovery ladder.

@@ -28,6 +28,7 @@ from ..errors import ConfigurationError
 from ..geometry.box import Box
 from ..lint.contracts import force_block_arg, positions_arg, returns_spd
 from ..units import FluidParams, REDUCED
+from ..utils.params import keyword_only
 from ..utils.validation import as_positions
 from . import beenakker
 
@@ -67,9 +68,13 @@ def _k_lattice_half(box: Box, k_max: float) -> np.ndarray:
     return m[inside & half]
 
 
+@keyword_only
 @dataclass(frozen=True)
 class EwaldSummation:
     """Dense Ewald-summed RPY mobility for a cubic periodic box.
+
+    Construct with keyword arguments (positional construction warns
+    once; ``replace(**changes)`` returns a reconfigured copy).
 
     Parameters
     ----------
@@ -154,6 +159,19 @@ class EwaldSummation:
         """Reference ``u = M f`` via the dense matrix (small systems only)."""
         mat = self.matrix(positions)
         return mat @ np.asarray(forces, dtype=np.float64)
+
+    @positions_arg()
+    def as_operator(self, positions):
+        """The mobility at ``positions`` as a
+        :class:`~repro.core.mobility.MobilityOperator`.
+
+        Builds the dense matrix once and wraps it in a
+        :class:`~repro.core.mobility.DenseMobilityMatrix`, so the
+        baseline algorithm plugs into the same ``apply`` /
+        ``apply_block`` interface as the matrix-free PME operator.
+        """
+        from ..core.mobility import DenseMobilityMatrix  # deferred: cycle
+        return DenseMobilityMatrix(self.matrix(positions))
 
     # -- reciprocal space ------------------------------------------------
 
@@ -256,6 +274,8 @@ def ewald_mobility_matrix(positions, box: Box, fluid: FluidParams = REDUCED,
                           ) -> np.ndarray:
     """Convenience wrapper: dense periodic RPY mobility matrix.
 
-    Equivalent to ``EwaldSummation(box, fluid, xi, tol).matrix(positions)``.
+    Equivalent to
+    ``EwaldSummation(box=box, fluid=fluid, xi=xi, tol=tol).matrix(positions)``.
     """
-    return EwaldSummation(box, fluid, xi=xi, tol=tol).matrix(positions)
+    return EwaldSummation(box=box, fluid=fluid, xi=xi,
+                          tol=tol).matrix(positions)

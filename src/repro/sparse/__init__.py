@@ -10,5 +10,6 @@ is the from-scratch implementation; it can also export a
 """
 
 from .bcsr import BlockCSR
+from .kernels import kernel_available
 
-__all__ = ["BlockCSR"]
+__all__ = ["BlockCSR", "kernel_available"]

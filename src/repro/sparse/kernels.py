@@ -1,0 +1,220 @@
+"""Runtime-compiled native BCSR SpMM kernel (multi-RHS real-space term).
+
+``scipy.sparse``'s CSR ``matmat`` walks the right-hand-side *columns*
+one at a time (``csr_matvecs``), so it amortizes nothing across the
+``s`` vectors of a block — exactly the cost the paper's Section IV.C
+("SpMV on blocks of vectors", reference [24]) eliminates.  This module
+compiles, at import-on-demand time, a small C kernel that streams each
+3x3 block once and multiplies it against all ``s`` lanes of the
+operand while the block is in registers.  Lane counts common in
+Algorithm 2 (1, 2, 4, 6, 8, 12, 16) get fully specialized inner loops
+(compile-time trip counts vectorize; a generic fallback handles any
+other ``s``).
+
+The kernel is strictly optional: compilation requires a C compiler
+(``cc``/``gcc``/``clang``) on ``PATH``, and every failure — no
+compiler, sandboxed temp dir, exotic platform — degrades silently to
+the pure SciPy/NumPy paths in :mod:`repro.sparse.bcsr`.  Setting
+``REPRO_NO_CKERNEL=1`` disables it explicitly (useful to benchmark the
+fallback or rule the kernel out when debugging).  Compiled libraries
+are cached on disk keyed by a hash of the source and compiler flags,
+so the cost is one ``cc`` invocation per machine, not per process.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+from numpy.ctypeslib import ndpointer
+
+__all__ = ["spmm_kernel", "kernel_available", "SPECIALIZED_LANES"]
+
+#: Lane counts with fully specialized (compile-time ``s``) inner loops.
+SPECIALIZED_LANES = (1, 2, 4, 6, 8, 12, 16)
+
+_SOURCE = r"""
+#include <stddef.h>
+
+#define DEFINE_SPMM(S)                                                   \
+static void bcsr_matmat_##S(const long long nb,                          \
+                            const long long *restrict indptr,            \
+                            const long long *restrict indices,           \
+                            const double *restrict blocks,               \
+                            const double *restrict x,                    \
+                            double *restrict y)                          \
+{                                                                        \
+    for (long long r = 0; r < nb; ++r) {                                 \
+        double acc[3 * S];                                               \
+        for (int c = 0; c < 3 * S; ++c) acc[c] = 0.0;                    \
+        const long long k1 = indptr[r + 1];                              \
+        for (long long k = indptr[r]; k < k1; ++k) {                     \
+            const double *restrict b = blocks + 9 * (size_t)k;           \
+            const double *restrict xc = x + (size_t)(3 * S) * indices[k];\
+            for (int u = 0; u < 3; ++u)                                  \
+                for (int v = 0; v < 3; ++v) {                            \
+                    const double buv = b[3 * u + v];                     \
+                    for (int j = 0; j < S; ++j)                          \
+                        acc[S * u + j] += buv * xc[S * v + j];           \
+                }                                                        \
+        }                                                                \
+        double *restrict yr = y + (size_t)(3 * S) * r;                   \
+        for (int c = 0; c < 3 * S; ++c) yr[c] = acc[c];                  \
+    }                                                                    \
+}
+
+DEFINE_SPMM(1)
+DEFINE_SPMM(2)
+DEFINE_SPMM(4)
+DEFINE_SPMM(6)
+DEFINE_SPMM(8)
+DEFINE_SPMM(12)
+DEFINE_SPMM(16)
+
+void bcsr_matmat(const long long nb, const long long *indptr,
+                 const long long *indices, const double *blocks,
+                 const double *x, double *y, const long long s)
+{
+    switch (s) {
+    case 1:  bcsr_matmat_1(nb, indptr, indices, blocks, x, y);  return;
+    case 2:  bcsr_matmat_2(nb, indptr, indices, blocks, x, y);  return;
+    case 4:  bcsr_matmat_4(nb, indptr, indices, blocks, x, y);  return;
+    case 6:  bcsr_matmat_6(nb, indptr, indices, blocks, x, y);  return;
+    case 8:  bcsr_matmat_8(nb, indptr, indices, blocks, x, y);  return;
+    case 12: bcsr_matmat_12(nb, indptr, indices, blocks, x, y); return;
+    case 16: bcsr_matmat_16(nb, indptr, indices, blocks, x, y); return;
+    }
+    for (long long r = 0; r < nb; ++r) {
+        double *yr = y + (size_t)(3 * s) * r;
+        for (long long c = 0; c < 3 * s; ++c) yr[c] = 0.0;
+        for (long long k = indptr[r]; k < indptr[r + 1]; ++k) {
+            const double *b = blocks + 9 * (size_t)k;
+            const double *xc = x + (size_t)(3 * s) * indices[k];
+            for (int u = 0; u < 3; ++u)
+                for (int v = 0; v < 3; ++v) {
+                    const double buv = b[3 * u + v];
+                    for (long long j = 0; j < s; ++j)
+                        yr[s * u + j] += buv * xc[s * v + j];
+                }
+        }
+    }
+}
+"""
+
+_BASE_FLAGS = ["-O3", "-fPIC", "-shared"]
+
+#: Memoized load result: unset / the ctypes function / None (unavailable).
+_UNSET = object()
+_kernel: object = _UNSET
+
+
+def _cache_dir() -> Path:
+    """Directory caching compiled kernels (override: REPRO_CKERNEL_CACHE)."""
+    override = os.environ.get("REPRO_CKERNEL_CACHE")
+    if override:
+        return Path(override)
+    return Path(tempfile.gettempdir()) / "repro-ckernels"
+
+
+def _compiler() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def _compile(compiler: str, flags: list[str], out: Path) -> bool:
+    """Compile the kernel source to ``out``; True on success."""
+    with tempfile.TemporaryDirectory() as tmp:
+        src = Path(tmp) / "bcsr_spmm.c"
+        src.write_text(_SOURCE, encoding="utf-8")
+        obj = Path(tmp) / out.name
+        try:
+            result = subprocess.run(
+                [compiler, *flags, str(src), "-o", str(obj)],
+                capture_output=True, timeout=120, check=False)
+        except (OSError, subprocess.SubprocessError):
+            return False
+        if result.returncode != 0 or not obj.exists():
+            return False
+        out.parent.mkdir(parents=True, exist_ok=True)
+        # atomic-ish publish so concurrent processes never load a
+        # half-written library
+        partial = out.with_suffix(f".{os.getpid()}.tmp")
+        shutil.copy2(obj, partial)
+        os.replace(partial, out)
+        return True
+
+
+def _load(path: Path) -> object | None:
+    try:
+        lib = ctypes.CDLL(str(path))
+        fn = lib.bcsr_matmat
+    except OSError:
+        return None
+    i64 = ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
+    f64 = ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
+    fn.argtypes = [ctypes.c_longlong, i64, i64, f64, f64, f64,
+                   ctypes.c_longlong]
+    fn.restype = None
+    return fn
+
+
+def _selftest(fn: object) -> bool:
+    """Check the loaded kernel against a tiny dense reference."""
+    indptr = np.array([0, 2, 3], dtype=np.int64)
+    indices = np.array([0, 1, 1], dtype=np.int64)
+    rng = np.random.default_rng(7)
+    blocks = np.ascontiguousarray(rng.standard_normal((3, 3, 3)))
+    x = np.ascontiguousarray(rng.standard_normal((2, 3, 2)))
+    y = np.empty_like(x)
+    fn(2, indptr, indices, blocks, x, y, 2)  # type: ignore[operator]
+    dense = np.zeros((6, 6))
+    dense[0:3, 0:3] = blocks[0]
+    dense[0:3, 3:6] = blocks[1]
+    dense[3:6, 3:6] = blocks[2]
+    ref = (dense @ x.reshape(6, 2)).reshape(2, 3, 2)
+    return bool(np.allclose(y, ref, rtol=1e-12, atol=1e-12))
+
+
+def spmm_kernel() -> object | None:
+    """The compiled SpMM entry point, or ``None`` when unavailable.
+
+    The returned callable has the C signature ``bcsr_matmat(nb, indptr,
+    indices, blocks, x, y, s)`` with ``x``/``y`` row-major ``(nb, 3, s)``
+    float64 arrays.  The result is memoized for the process lifetime.
+    """
+    global _kernel
+    if _kernel is not _UNSET:
+        return None if _kernel is None else _kernel
+    if os.environ.get("REPRO_NO_CKERNEL", "").strip() in ("1", "true", "yes"):
+        _kernel = None
+        return None
+    compiler = _compiler()
+    if compiler is None:
+        _kernel = None
+        return None
+    for flags in ([*_BASE_FLAGS, "-march=native"], _BASE_FLAGS):
+        tag = hashlib.sha256(
+            (_SOURCE + compiler + " ".join(flags)).encode()).hexdigest()[:16]
+        lib_path = _cache_dir() / f"bcsr_spmm-{tag}.so"
+        if not lib_path.exists() and not _compile(compiler, flags, lib_path):
+            continue
+        fn = _load(lib_path)
+        if fn is not None and _selftest(fn):
+            _kernel = fn
+            return fn
+    _kernel = None
+    return None
+
+
+def kernel_available() -> bool:
+    """True when the native SpMM kernel compiled and passed self-test."""
+    return spmm_kernel() is not None

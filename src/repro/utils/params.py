@@ -1,0 +1,107 @@
+"""Keyword-only configuration constructors with ``replace()``.
+
+The parameter objects of the package (:class:`~repro.pme.operator.PMEParams`,
+the Brownian-generator configs, :class:`~repro.rpy.ewald.EwaldSummation`)
+historically accepted positional arguments, which makes call sites
+fragile against field reordering and unreadable in reviews
+(``PMEParams(0.5, 8.0, 64)`` — which number is which?).  The
+:func:`keyword_only` decorator migrates a constructor to keyword-only
+calling *softly*: positional construction still works but emits a
+single :class:`DeprecationWarning` per class with a concrete migration
+hint, and every decorated class gains a ``replace(**changes)`` helper
+returning a copy with the given fields overridden (``dataclasses.replace``
+for dataclasses, re-construction from the recorded keyword arguments
+otherwise).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import inspect
+import warnings
+from typing import Any, TypeVar
+
+__all__ = ["keyword_only", "warn_positional"]
+
+_T = TypeVar("_T", bound=type)
+
+#: Classes that already emitted their positional-construction warning.
+_warned_classes: set[str] = set()
+
+
+def _reset_positional_warnings() -> None:
+    """Forget which classes warned (test helper)."""
+    _warned_classes.clear()
+
+
+def warn_positional(cls: type, names: list[str]) -> None:
+    """Emit the once-per-class positional-construction warning."""
+    key = f"{cls.__module__}.{cls.__qualname__}"
+    if key in _warned_classes:
+        return
+    _warned_classes.add(key)
+    hint = ", ".join(f"{name}=..." for name in names) or "..."
+    warnings.warn(
+        f"positional construction of {cls.__name__} is deprecated; "
+        f"call {cls.__name__}({hint}) with keyword arguments "
+        f"(see docs/api.md)",
+        DeprecationWarning, stacklevel=3)
+
+
+def keyword_only(cls: _T) -> _T:
+    """Class decorator: keyword-only ``__init__`` with soft migration.
+
+    * Positional arguments are still accepted but raise a single
+      :class:`DeprecationWarning` per class naming the fields to use.
+    * Adds ``replace(**changes)`` unless the class defines one.
+
+    Works on dataclasses (including frozen ones) and plain classes; for
+    plain classes the keyword arguments of the original call are
+    recorded on the instance so ``replace`` can reconstruct it.
+    """
+    original_init = cls.__init__
+    parameters = [p for p in
+                  inspect.signature(original_init).parameters.values()
+                  if p.name != "self"
+                  and p.kind in (p.POSITIONAL_ONLY,
+                                 p.POSITIONAL_OR_KEYWORD)]
+    positional_names = [p.name for p in parameters]
+    is_dataclass = dataclasses.is_dataclass(cls)
+
+    @functools.wraps(original_init)
+    def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
+        if args:
+            if len(args) > len(positional_names):
+                raise TypeError(
+                    f"{cls.__name__}() takes at most "
+                    f"{len(positional_names)} positional arguments "
+                    f"({len(args)} given)")
+            warn_positional(cls, positional_names[:len(args)])
+            for name, value in zip(positional_names, args):
+                if name in kwargs:
+                    raise TypeError(
+                        f"{cls.__name__}() got multiple values for "
+                        f"argument {name!r}")
+                kwargs[name] = value
+        if not is_dataclass:
+            # record for replace(); object.__setattr__ tolerates
+            # classes that freeze attributes in their own __init__
+            object.__setattr__(self, "_init_kwargs", dict(kwargs))
+        original_init(self, **kwargs)
+
+    cls.__init__ = __init__  # type: ignore[method-assign]
+
+    if "replace" not in cls.__dict__:
+        if is_dataclass:
+            def replace(self: Any, **changes: Any) -> Any:
+                """Copy with the given fields replaced."""
+                return dataclasses.replace(self, **changes)
+        else:
+            def replace(self: Any, **changes: Any) -> Any:
+                """Copy with the given constructor arguments replaced."""
+                kwargs = dict(getattr(self, "_init_kwargs", {}))
+                kwargs.update(changes)
+                return type(self)(**kwargs)
+        cls.replace = replace  # type: ignore[attr-defined]
+    return cls

@@ -108,8 +108,13 @@ class PhaseTimer:
     _depth: dict[str, int] = field(default_factory=dict, repr=False)
 
     @contextmanager
-    def phase(self, name: str):
-        """Context manager timing one occurrence of phase ``name``."""
+    def phase(self, name: str, **span_args):
+        """Context manager timing one occurrence of phase ``name``.
+
+        Keyword arguments are attached to the emitted trace span (when
+        a tracer and ``prefix`` are active) — e.g. ``vectors=s`` lets
+        ``repro profile`` count batched pipeline passes correctly.
+        """
         timer = self.phases.setdefault(name, Timer())
         depth = self._depth.get(name, 0)
         self._depth[name] = depth + 1
@@ -120,8 +125,8 @@ class PhaseTimer:
             finally:
                 self._depth[name] -= 1
             return
-        span = (_trace.span(f"{self.prefix}.{name}") if self.prefix
-                else _trace.NULL_SPAN)
+        span = (_trace.span(f"{self.prefix}.{name}", **span_args)
+                if self.prefix else _trace.NULL_SPAN)
         with span:
             timer.start()
             try:

@@ -132,6 +132,77 @@ def test_matvec_linearity_property(n, density, seed):
                                rtol=1e-10, atol=1e-10)
 
 
+@pytest.mark.parametrize("s", [1, 2, 5, 8])
+def test_matmat_matches_matvec_columns(s):
+    bcsr, refdata = _random_symmetric_bcsr(12, 0.3, seed=21)
+    dense = _dense_reference(12, *refdata)
+    rng = np.random.default_rng(s)
+    x = rng.standard_normal((36, s))
+    y = bcsr.matmat(x)
+    np.testing.assert_allclose(y, dense @ x, rtol=1e-12, atol=1e-12)
+    for c in range(s):
+        np.testing.assert_allclose(y[:, c], bcsr.matvec(x[:, c]),
+                                   rtol=1e-12, atol=1e-12)
+
+
+def test_matmat_scipy_fallback_matches(monkeypatch):
+    import repro.sparse.bcsr as bcsr_mod
+    monkeypatch.setattr(bcsr_mod, "spmm_kernel", lambda: None)
+    bcsr, refdata = _random_symmetric_bcsr(10, 0.3, seed=22)
+    dense = _dense_reference(10, *refdata)
+    x = np.random.default_rng(2).standard_normal((30, 6))
+    np.testing.assert_allclose(bcsr.matmat(x), dense @ x,
+                               rtol=1e-12, atol=1e-12)
+
+
+def test_matmul_dispatches_blocks_to_matmat():
+    bcsr, _ = _random_symmetric_bcsr(8, 0.4, seed=23)
+    x = np.random.default_rng(3).standard_normal((24, 5))
+    np.testing.assert_allclose(bcsr @ x, bcsr.matmat(x))
+    single = x[:, :1]
+    np.testing.assert_allclose(bcsr @ single, bcsr.matvec(single))
+
+
+def test_fortran_and_strided_operands_are_normalized_once():
+    bcsr, refdata = _random_symmetric_bcsr(9, 0.4, seed=24)
+    dense = _dense_reference(9, *refdata)
+    rng = np.random.default_rng(4)
+    xf = np.asfortranarray(rng.standard_normal((27, 4)))
+    np.testing.assert_allclose(bcsr.matvec(xf), dense @ xf, rtol=1e-12)
+    np.testing.assert_allclose(bcsr.matmat(xf), dense @ xf, rtol=1e-12)
+    wide = rng.standard_normal((27, 8))
+    strided = wide[:, ::2]          # non-contiguous column view
+    np.testing.assert_allclose(bcsr.matmat(strided), dense @ strided,
+                               rtol=1e-12)
+    ints = np.ones((27, 3), dtype=np.int64)
+    np.testing.assert_allclose(bcsr.matmat(ints), dense @ ints.astype(float),
+                               rtol=1e-12)
+
+
+def test_rejects_complex_operands():
+    bcsr, _ = _random_symmetric_bcsr(5, 0.5, seed=25)
+    with pytest.raises(ConfigurationError):
+        bcsr.matvec(np.ones(15, dtype=np.complex128))
+    with pytest.raises(ConfigurationError):
+        bcsr.matmat(np.ones((15, 2), dtype=np.complex128))
+
+
+def test_memory_accounting_includes_spmm_indices():
+    bcsr, _ = _random_symmetric_bcsr(10, 0.3, seed=26)
+    before = bcsr.memory_bytes
+    assert before >= (bcsr.blocks.nbytes + bcsr.indices.nbytes
+                      + bcsr.indptr.nbytes)
+    bcsr.matmat(np.ones((30, 4)))   # materializes the SpMM index arrays
+    after = bcsr.memory_bytes
+    # on LP64 the int64 arrays alias intp (no growth); otherwise the
+    # copies must be credited
+    if bcsr._indptr64 is not None and bcsr._indptr64 is not bcsr.indptr \
+            and bcsr._indptr64.base is not bcsr.indptr:
+        assert after > before
+    else:
+        assert after == before
+
+
 @given(st.integers(2, 10), st.integers(0, 500))
 @settings(max_examples=25, deadline=None)
 def test_symmetric_bcsr_is_self_adjoint(n, seed):
