@@ -85,7 +85,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="B-spline order (4, 6 or 8)")
 
     lint = sub.add_parser(
-        "lint", help="physics-aware static analysis (rules RPR001-RPR009)",
+        "lint", help="physics-aware static analysis (file rules "
+                     "RPR001-RPR009, dataflow rules RPR101-RPR302)",
         add_help=False)
     lint.add_argument("lint_args", nargs=argparse.REMAINDER,
                       help="arguments forwarded to repro-lint "

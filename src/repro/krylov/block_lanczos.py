@@ -88,6 +88,7 @@ def block_lanczos_sqrt(matvec: Any, z: np.ndarray, tol: float = 1e-2,
     blocks_a: list[np.ndarray] = []
     blocks_b: list[np.ndarray] = []
     y_prev: np.ndarray | None = None
+    y_acc = np.empty((d, s))           # per-iteration iterate workspace
     rel_change = np.inf
     n_matvecs = 0
 
@@ -114,10 +115,10 @@ def block_lanczos_sqrt(matvec: Any, z: np.ndarray, tol: float = 1e-2,
 
             # iterate + convergence check (cheap next to the block matvec)
             coeffs = _block_tridiag_sqrt_first(blocks_a, blocks_b, s)
-            y = np.zeros((d, s))
+            y_acc.fill(0.0)
             for j, vb in enumerate(basis):
-                y += vb @ coeffs[j * s:(j + 1) * s]
-            y = y @ r1
+                y_acc += vb @ coeffs[j * s:(j + 1) * s]
+            y = y_acc @ r1
             if y_prev is not None:
                 denom = float(np.linalg.norm(y))
                 rel_change = (float(np.linalg.norm(y - y_prev)) / denom

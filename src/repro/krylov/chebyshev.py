@@ -112,6 +112,7 @@ def _best_coefficients(l_min: float, l_max: float, tol: float,
     degree = 8
     c = np.zeros(1)
     err = np.inf
+    t = (2 * probe - (l_max + l_min)) / (l_max - l_min)
     while degree <= max_degree:
         nodes = np.cos((np.arange(degree + 1) + 0.5) * np.pi / (degree + 1))
         x = 0.5 * (l_max - l_min) * nodes + 0.5 * (l_max + l_min)
@@ -119,10 +120,9 @@ def _best_coefficients(l_min: float, l_max: float, tol: float,
         k = np.arange(degree + 1)
         theta = (np.arange(degree + 1) + 0.5) * np.pi / (degree + 1)
         c = (2.0 / (degree + 1)) * (np.cos(np.outer(k, theta)) * fx).sum(axis=1)
-        # evaluate on the probe grid via Clenshaw
-        t = (2 * probe - (l_max + l_min)) / (l_max - l_min)
-        b1 = np.zeros_like(t)
-        b2 = np.zeros_like(t)
+        # evaluate on the probe grid via Clenshaw; scalar zero seeds
+        # broadcast to the grid on the first recurrence step
+        b1, b2 = 0.0, 0.0
         for ck in c[:0:-1]:
             b1, b2 = 2 * t * b1 - b2 + ck, b1
         approx = t * b1 - b2 + 0.5 * c[0]

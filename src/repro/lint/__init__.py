@@ -3,11 +3,14 @@
 Two cooperating layers keep the package's array invariants honest:
 
 * **Static layer** — an AST linter (``python -m repro.lint``, ``repro
-  lint``, ``repro-lint``) with rules RPR001-RPR009 targeting the
-  failure modes of fast Brownian dynamics codes: unvalidated position
-  arrays, global RNG state, unguarded Cholesky factorizations, missing
-  minimum-image folds, dtype drift, swallowed solver diagnostics,
-  mutable defaults and ``assert``-based validation.
+  lint``, ``repro-lint``) with per-file rules RPR001-RPR009 targeting
+  the failure modes of fast Brownian dynamics codes (unvalidated
+  position arrays, global RNG state, unguarded Cholesky
+  factorizations, missing minimum-image folds, dtype drift, swallowed
+  solver diagnostics, mutable defaults, ``assert``-based validation)
+  plus the whole-program dataflow families of :mod:`repro.lint.flow`:
+  RPR1xx shape/dtype flow, RPR2xx determinism flow and RPR3xx hot-path
+  allocation lints.
 * **Runtime layer** — :mod:`repro.lint.contracts`, lightweight
   decorators (``@positions_arg``, ``@force_block_arg``,
   ``@returns_spd``, ...) applied across the public entry points and
@@ -34,6 +37,7 @@ from .contracts import (
     spd_arg,
     trajectory_arg,
 )
+from .baseline import Baseline, apply_baseline
 from .engine import lint_paths, lint_source
 from .findings import Finding, REPORT_JSON_SCHEMA
 from .registry import all_rules, get_rule, resolve_selection
@@ -46,6 +50,8 @@ __all__ = [
     "all_rules",
     "get_rule",
     "resolve_selection",
+    "Baseline",
+    "apply_baseline",
     "OFF",
     "BASIC",
     "STRICT",

@@ -1,0 +1,115 @@
+"""Finding baselines: adopt the linter without fixing history first.
+
+A baseline file records the *accepted* findings of a codebase as
+fingerprint counts.  ``repro lint --baseline write`` snapshots the
+current findings; ``--baseline check`` then fails only on findings NOT
+covered by the snapshot, so new debt is blocked while known debt is
+paid down incrementally (shrinking the baseline is always safe;
+growing it requires an explicit re-``write``).
+
+Fingerprints are ``(path, rule, message)`` — deliberately *without*
+the line number, so pure line drift (an import added above) does not
+invalidate the baseline.  Identical findings on different lines of one
+file collapse into a count; the checker tolerates up to that many
+occurrences.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from ..errors import ConfigurationError
+from .findings import Finding
+
+__all__ = ["BASELINE_VERSION", "DEFAULT_BASELINE", "Baseline",
+           "fingerprint", "apply_baseline"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable, line-independent identity of a finding."""
+    return f"{finding.path}::{finding.rule}::{finding.message}"
+
+
+@dataclass
+class Baseline:
+    """Accepted findings as ``fingerprint -> occurrence count``."""
+
+    entries: dict[str, int]
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        entries: dict[str, int] = {}
+        for finding in findings:
+            key = fingerprint(finding)
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries=entries)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls(entries={})
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ConfigurationError(
+                f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ConfigurationError(
+                f"baseline {path} is not a lint baseline "
+                f"(missing 'entries')")
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ConfigurationError(
+                f"baseline {path} has version {version!r}; this linter "
+                f"writes version {BASELINE_VERSION} — regenerate with "
+                f"--baseline write")
+        entries = data["entries"]
+        if not isinstance(entries, dict) or not all(
+                isinstance(k, str) and isinstance(v, int) and v > 0
+                for k, v in entries.items()):
+            raise ConfigurationError(
+                f"baseline {path}: 'entries' must map fingerprints to "
+                f"positive counts")
+        return cls(entries=dict(entries))
+
+    def write(self, path: str | Path) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "tool": "repro-lint",
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Baseline
+                   ) -> tuple[list[Finding], int, list[str]]:
+    """Split findings into new-vs-accepted against a baseline.
+
+    Returns ``(new_findings, suppressed_count, stale_fingerprints)``.
+    When a fingerprint occurs more often than the baseline allows, the
+    excess occurrences (highest line numbers first removed last — i.e.
+    the *earliest* occurrences are accepted) surface as new findings.
+    Stale fingerprints — baseline entries nothing matched — signal the
+    baseline can be shrunk; they are reported but never fail the run.
+    """
+    budget = dict(baseline.entries)
+    new: list[Finding] = []
+    suppressed = 0
+    for finding in sorted(findings):
+        key = fingerprint(finding)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            new.append(finding)
+    stale = sorted(k for k, v in budget.items() if v > 0)
+    return new, suppressed, stale

@@ -8,6 +8,13 @@ Invocations::
 
 Exit codes follow the convention CI gates on: ``0`` no findings, ``1``
 findings were reported, ``2`` usage error (bad path / unknown rule).
+
+Beyond plain linting the CLI drives two workflows:
+
+* ``--baseline write`` snapshots current findings to a baseline file;
+  ``--baseline check`` fails only on findings not covered by it.
+* ``--graph out.json`` exports the whole-program model (call graph,
+  function summaries, hot registry) the dataflow rules analyzed.
 """
 
 from __future__ import annotations
@@ -15,24 +22,30 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import TextIO
 
 from ..errors import ConfigurationError
-from .findings import report_to_dict
+from .baseline import DEFAULT_BASELINE, Baseline, apply_baseline
+from .findings import Finding, report_to_dict
 from .engine import lint_paths
 from .registry import all_rules
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "format_github"]
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Physics-aware static analysis for the repro package "
-                    "(rules RPR001-RPR009; see docs/static_analysis.md)")
+                    "(file rules RPR001-RPR009, dataflow rules "
+                    "RPR101-RPR302; see docs/static_analysis.md)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", "-f", choices=["text", "json"],
-                        default="text", help="output format")
+    parser.add_argument("--format", "-f", "--output-format",
+                        dest="format", choices=["text", "json", "github"],
+                        default="text",
+                        help="output format (github emits workflow-command "
+                             "annotations for CI)")
     parser.add_argument("--select", action="append", default=None,
                         metavar="RULES",
                         help="comma-separated rule-id prefixes to enable "
@@ -41,6 +54,17 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="RULES",
                         help="comma-separated rule-id prefixes to disable; "
                              "repeatable")
+    parser.add_argument("--baseline", choices=["write", "check"],
+                        default=None,
+                        help="write: snapshot findings to the baseline "
+                             "file; check: fail only on findings not in it")
+    parser.add_argument("--baseline-file", default=DEFAULT_BASELINE,
+                        metavar="PATH",
+                        help=f"baseline location (default: "
+                             f"{DEFAULT_BASELINE})")
+    parser.add_argument("--graph", default=None, metavar="PATH",
+                        help="also export the analyzed call graph + "
+                             "function summaries as JSON to PATH")
     parser.add_argument("--list-rules", action="store_true",
                         help="print every registered rule and exit")
     return parser
@@ -53,11 +77,56 @@ def _split_csv(values: list[str] | None) -> list[str] | None:
             if item.strip()]
 
 
-def _print_rules(out) -> None:
+def _print_rules(out: "TextIO") -> None:
     for rule in all_rules():
         meta = rule.meta
         print(f"{meta.id}  {meta.name}", file=out)
         print(f"    {meta.summary}", file=out)
+
+
+_RULE_NAMES = {rule.meta.id: rule.meta.name for rule in all_rules()}
+
+
+def format_github(finding: Finding) -> str:
+    """One GitHub Actions workflow-command annotation per finding.
+
+    Rendered by Actions as an inline warning on the PR diff; newlines
+    and the command-significant characters are escaped per the
+    workflow-command spec.
+    """
+    def _escape(text: str, *, prop: bool) -> str:
+        text = (text.replace("%", "%25").replace("\r", "%0D")
+                    .replace("\n", "%0A"))
+        if prop:
+            text = text.replace(":", "%3A").replace(",", "%2C")
+        return text
+
+    name = _RULE_NAMES.get(finding.rule, "syntax-error")
+    title = _escape(f"{finding.rule} {name}", prop=True)
+    message = finding.message + (f" ({finding.hint})" if finding.hint
+                                 else "")
+    return (f"::warning file={_escape(finding.path, prop=True)},"
+            f"line={finding.line},col={finding.col + 1},"
+            f"title={title}::{_escape(message, prop=False)}")
+
+
+def _emit(findings: list[Finding], files_checked: int, fmt: str,
+          trailer: str = "") -> None:
+    if fmt == "json":
+        print(json.dumps(report_to_dict(findings, files_checked), indent=2))
+        return
+    if fmt == "github":
+        for finding in findings:
+            print(format_github(finding))
+    else:
+        for finding in findings:
+            print(finding.format_text())
+    summary = (f"{len(findings)} finding(s) in {files_checked} file(s)"
+               if findings else
+               f"clean: {files_checked} file(s), no findings")
+    if trailer:
+        summary += f" ({trailer})"
+    print(summary)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -73,6 +142,24 @@ def main(argv: list[str] | None = None) -> int:
         findings, files_checked = lint_paths(
             args.paths, select=_split_csv(args.select),
             ignore=_split_csv(args.ignore))
+        if args.graph:
+            from .flow.graphexport import export_graph
+            export_graph(args.paths, args.graph)
+
+        if args.baseline == "write":
+            Baseline.from_findings(findings).write(args.baseline_file)
+            print(f"baseline: wrote {len(findings)} finding(s) to "
+                  f"{args.baseline_file}")
+            return 0
+        if args.baseline == "check":
+            baseline = Baseline.load(args.baseline_file)
+            findings, suppressed, stale = apply_baseline(findings, baseline)
+            for key in stale:
+                print(f"repro-lint: note: stale baseline entry {key!r} "
+                      f"(fixed? shrink the baseline)", file=sys.stderr)
+            trailer = f"{suppressed} baselined" if suppressed else ""
+            _emit(findings, files_checked, args.format, trailer)
+            return 1 if findings else 0
     except ConfigurationError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
@@ -80,15 +167,7 @@ def main(argv: list[str] | None = None) -> int:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
         return 2
 
-    if args.format == "json":
-        print(json.dumps(report_to_dict(findings, files_checked), indent=2))
-    else:
-        for finding in findings:
-            print(finding.format_text())
-        summary = (f"{len(findings)} finding(s) in {files_checked} file(s)"
-                   if findings else
-                   f"clean: {files_checked} file(s), no findings")
-        print(summary)
+    _emit(findings, files_checked, args.format)
     return 1 if findings else 0
 
 

@@ -26,7 +26,7 @@ from __future__ import annotations
 import functools
 import inspect
 import os
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -85,7 +85,7 @@ def contract(name: str, validate: Callable) -> Callable:
             ) from None
 
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             level = check_level()
             if level == OFF:
                 return fn(*args, **kwargs)
@@ -117,7 +117,7 @@ def positions_arg(name: str = "positions") -> Callable:
     value; strict mode adds the finiteness scan.
     """
 
-    def validate(value, strict):
+    def validate(value: Any, strict: bool) -> Any:
         return validation.as_positions(value, check_finite=strict)
 
     return contract(name, validate)
@@ -131,7 +131,7 @@ def force_block_arg(name: str = "forces") -> Callable:
     the flat/block shape).  ``n`` is inferred from divisibility by 3.
     """
 
-    def validate(value, strict):
+    def validate(value: Any, strict: bool) -> Any:
         f = np.asarray(value)
         if f.ndim not in (1, 2):
             raise ConfigurationError(
@@ -154,7 +154,7 @@ def force_block_arg(name: str = "forces") -> Callable:
 def radii_arg(name: str = "radii") -> Callable:
     """Require ``name`` to be a positive finite ``(n,)`` radii array."""
 
-    def validate(value, strict):
+    def validate(value: Any, strict: bool) -> Any:
         return validation.as_radii(value)
 
     return contract(name, validate)
@@ -163,7 +163,7 @@ def radii_arg(name: str = "radii") -> Callable:
 def trajectory_arg(name: str = "positions") -> Callable:
     """Require ``name`` to be a ``(T, n, 3)`` float64 trajectory array."""
 
-    def validate(value, strict):
+    def validate(value: Any, strict: bool) -> Any:
         r = np.asarray(value, dtype=np.float64)
         if r.ndim != 3 or r.shape[2] != 3:
             raise ConfigurationError(
@@ -182,7 +182,7 @@ def array_arg(name: str, ndim: tuple[int, ...] = (1, 2)) -> Callable:
     performs its own shape-specific handling.
     """
 
-    def validate(value, strict):
+    def validate(value: Any, strict: bool) -> Any:
         z = np.asarray(value)
         if z.ndim not in ndim:
             expected = " or ".join(f"{d}-D" for d in ndim)
@@ -223,7 +223,7 @@ def spd_arg(name: str = "mobility") -> Callable:
     for the dense Algorithm 1 path, not a production check.
     """
 
-    def validate(value, strict):
+    def validate(value: Any, strict: bool) -> Any:
         if strict:
             _check_spd(value, name)
         return value
@@ -244,7 +244,7 @@ def returns_spd(what: str = "returned mobility matrix",
 
     def decorate(fn: Callable) -> Callable:
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
             result = fn(*args, **kwargs)
             if check_level() >= STRICT and not (
                     unless is not None and args and unless(args[0])):

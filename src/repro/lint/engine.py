@@ -6,7 +6,15 @@ it works on files with missing optional dependencies or syntax errors
 
 Suppression follows the familiar ``noqa`` convention: a trailing
 ``# noqa`` comment silences every rule on that line, and
-``# noqa: RPR001, RPR005`` silences only the listed rules.
+``# noqa: RPR001, RPR005`` silences only the listed rules.  For a
+multi-line statement (a wrapped call, a long ``def`` signature) the
+comment may sit on *any* physical line of the statement — the closing
+paren included — and still suppresses findings anchored anywhere in it.
+
+Two kinds of rules run per invocation: per-file rules see one parsed
+:class:`FileContext`; project rules (:class:`~repro.lint.registry
+.ProjectRule`, the RPR1xx/2xx/3xx dataflow families) see the
+whole-program model built from every file of the run.
 """
 
 from __future__ import annotations
@@ -19,7 +27,14 @@ from typing import Iterable, Sequence
 
 from . import rules as _builtin_rules  # noqa: F401 - registers RPR rules
 from .findings import Finding
-from .registry import Rule, all_rules, resolve_selection
+from .flow import rules_flow as _flow_rules  # noqa: F401 - RPR1xx-3xx
+from .registry import (
+    ProjectRule,
+    Rule,
+    SYNTAX_ERROR_ID,
+    all_rules,
+    resolve_selection,
+)
 
 __all__ = ["FileContext", "lint_source", "lint_paths", "iter_python_files"]
 
@@ -40,6 +55,15 @@ class FileContext:
     tree: ast.Module
     #: ``line -> None`` (blanket noqa) or ``line -> set of rule ids``.
     noqa: dict[int, set[str] | None] = field(default_factory=dict)
+    #: lazily computed ``(start, end)`` line ranges of statements /
+    #: statement headers, for multi-line noqa suppression
+    _extents: list[tuple[int, int]] | None = field(
+        default=None, repr=False, compare=False)
+
+    def statement_extents(self) -> list[tuple[int, int]]:
+        if self._extents is None:
+            self._extents = _statement_extents(self.tree)
+        return self._extents
 
 
 def _collect_noqa(source: str) -> dict[int, set[str] | None]:
@@ -59,36 +83,111 @@ def _collect_noqa(source: str) -> dict[int, set[str] | None]:
     return out
 
 
-def _suppressed(ctx: FileContext, finding: Finding) -> bool:
-    if finding.line not in ctx.noqa:
-        return False
-    rules = ctx.noqa[finding.line]
-    return rules is None or finding.rule in rules
+def _statement_extents(tree: ast.Module) -> list[tuple[int, int]]:
+    """Line ranges over which a noqa comment suppresses a finding.
 
-
-def lint_source(source: str, display_path: str,
-                rules: Sequence[Rule] | None = None) -> list[Finding]:
-    """Lint one in-memory source string; returns surviving findings.
-
-    Syntax errors produce a single ``RPR000`` finding at the error
-    location instead of raising.
+    Simple statements span ``lineno..end_lineno``.  Compound statements
+    (``def``, ``if``, ``for``, ``try`` ...) contribute only their
+    *header* (up to the line before the first body statement) so a noqa
+    inside a function body never silences a finding on the ``def`` line.
     """
-    if rules is None:
-        rules = all_rules()
+    extents: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.stmt, ast.ExceptHandler)):
+            continue
+        start = node.lineno
+        end = getattr(node, "end_lineno", None) or start
+        body = getattr(node, "body", None)
+        if isinstance(body, list) and body \
+                and isinstance(body[0], (ast.stmt, ast.ExceptHandler)):
+            end = max(start, body[0].lineno - 1)
+        extents.append((start, end))
+    return extents
+
+
+def _suppressed(ctx: FileContext, finding: Finding) -> bool:
+    if not ctx.noqa:
+        return False
+    lines = {finding.line}
+    best: tuple[int, int] | None = None
+    for start, end in ctx.statement_extents():
+        if start <= finding.line <= end:
+            if best is None or end - start < best[1] - best[0]:
+                best = (start, end)
+    if best is not None:
+        lines.update(range(best[0], best[1] + 1))
+    for line in lines:
+        if line in ctx.noqa:
+            rules = ctx.noqa[line]
+            if rules is None or finding.rule in rules:
+                return True
+    return False
+
+
+def parse_context(source: str, display_path: str
+                  ) -> FileContext | Finding:
+    """Parse one source file into a :class:`FileContext`.
+
+    A syntax error yields the ``RPR000`` :class:`Finding` instead.
+    """
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
-        return [Finding(path=display_path, line=exc.lineno or 1,
-                        col=(exc.offset or 1) - 1, rule="RPR000",
-                        message=f"syntax error: {exc.msg}",
-                        hint="file could not be parsed; no rules were run")]
-    ctx = FileContext(display_path=display_path, source=source, tree=tree,
-                      noqa=_collect_noqa(source))
+        return Finding(path=display_path, line=exc.lineno or 1,
+                       col=(exc.offset or 1) - 1, rule=SYNTAX_ERROR_ID,
+                       message=f"syntax error: {exc.msg}",
+                       hint="file could not be parsed; no rules were run")
+    return FileContext(display_path=display_path, source=source, tree=tree,
+                       noqa=_collect_noqa(source))
+
+
+def _run_file_rules(ctx: FileContext,
+                    rules: Sequence[Rule]) -> list[Finding]:
     findings: list[Finding] = []
     for rule in rules:
+        if rule.scope != "file":
+            continue
         for finding in rule.check(ctx):
             if not _suppressed(ctx, finding):
                 findings.append(finding)
+    return findings
+
+
+def _run_project_rules(contexts: Sequence[FileContext],
+                       rules: Sequence[ProjectRule]) -> list[Finding]:
+    if not rules or not contexts:
+        return []
+    from .flow.project import build_project
+
+    project = build_project([(ctx.display_path, ctx.tree)
+                             for ctx in contexts])
+    by_path = {ctx.display_path: ctx for ctx in contexts}
+    findings: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check_project(project):
+            ctx = by_path.get(finding.path)
+            if ctx is None or not _suppressed(ctx, finding):
+                findings.append(finding)
+    return findings
+
+
+def lint_source(source: str, display_path: str,
+                rules: Sequence[Rule] | None = None,
+                include_syntax_errors: bool = True) -> list[Finding]:
+    """Lint one in-memory source string; returns surviving findings.
+
+    Both per-file and project rules run (the "project" is the single
+    source string).  Syntax errors produce one ``RPR000`` finding at
+    the error location instead of raising.
+    """
+    if rules is None:
+        rules = all_rules()
+    parsed = parse_context(source, display_path)
+    if isinstance(parsed, Finding):
+        return [parsed] if include_syntax_errors else []
+    findings = _run_file_rules(parsed, rules)
+    findings += _run_project_rules(
+        [parsed], [r for r in rules if isinstance(r, ProjectRule)])
     return sorted(findings)
 
 
@@ -123,9 +222,21 @@ def lint_paths(paths: Iterable[str | Path],
     """
     selected = resolve_selection(select, ignore)
     rules = [r for r in all_rules() if r.meta.id in selected]
+    file_rules = [r for r in rules if r.scope == "file"]
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    emit_syntax = SYNTAX_ERROR_ID in selected
+
     findings: list[Finding] = []
+    contexts: list[FileContext] = []
     files = iter_python_files(paths)
     for path in files:
         source = path.read_text(encoding="utf-8")
-        findings.extend(lint_source(source, str(path), rules))
+        parsed = parse_context(source, str(path))
+        if isinstance(parsed, Finding):
+            if emit_syntax:
+                findings.append(parsed)
+            continue
+        contexts.append(parsed)
+        findings.extend(_run_file_rules(parsed, file_rules))
+    findings.extend(_run_project_rules(contexts, project_rules))
     return sorted(findings), len(files)

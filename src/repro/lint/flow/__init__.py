@@ -1,0 +1,44 @@
+"""repro.lint.flow — whole-program dataflow analysis.
+
+Layers (each building on the previous):
+
+1. :mod:`~repro.lint.flow.project` — project model: module index,
+   symbol table, call graph resolving ``repro.*`` imports.
+2. :mod:`~repro.lint.flow.domain` / :mod:`~repro.lint.flow.interp` —
+   abstract interpretation over NumPy-shaped values (symbolic shapes,
+   dtype, C-contiguity, RNG provenance).
+3. :mod:`~repro.lint.flow.summaries` — per-function summaries
+   propagated interprocedurally so facts survive
+   ``apply``/``apply_block``/solver call chains.
+4. :mod:`~repro.lint.flow.rules_flow` — the RPR1xx (shape/dtype flow),
+   RPR2xx (determinism flow) and RPR3xx (hot-path allocation) rule
+   families; :mod:`~repro.lint.flow.hotpaths` derives the hot-function
+   registry from the observability span names.
+
+See ``docs/static_analysis.md`` for the architecture walk-through.
+"""
+
+from __future__ import annotations
+
+from . import rules_flow as _rules_flow  # noqa: F401 - registers RPR1xx-3xx
+from .domain import AbstractValue, ParamSpec, ShapeSpec
+from .hotpaths import HOT_PACKAGES, derive_hot_registry
+from .project import FunctionInfo, ModuleInfo, ProjectModel, build_project
+from .rules_flow import ensure_analyzed
+from .summaries import FunctionSummary, analyze_project, specs_for_call
+
+__all__ = [
+    "AbstractValue",
+    "ParamSpec",
+    "ShapeSpec",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectModel",
+    "build_project",
+    "FunctionSummary",
+    "analyze_project",
+    "specs_for_call",
+    "derive_hot_registry",
+    "HOT_PACKAGES",
+    "ensure_analyzed",
+]

@@ -1,0 +1,261 @@
+"""Abstract domain of the whole-program dataflow analysis.
+
+The analysis tracks NumPy-shaped values symbolically.  A dimension is
+either unknown or a linear monomial ``coeff * var`` (``var=None`` for a
+plain integer), so the pipeline's characteristic shapes — ``(n, 3)``
+positions, ``(3n,)`` force vectors, ``(3n, s)`` force blocks — stay
+distinguishable across assignments and call boundaries.  Two dimensions
+*definitely differ* when they share the same symbol with different
+coefficients (``n`` vs ``3n``): the codebase never reinterprets an
+``n``-vector as a ``3n``-vector without an explicit reshape (which
+resets the fact), so that comparison is the deliberate heuristic that
+catches particle-count/DOF-count confusion.
+
+Values carry dtype and C-contiguity facts alongside the shape, plus an
+``origin`` naming the function parameter a value was derived from
+unchanged — that is what lets per-function summaries propagate
+requirements interprocedurally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+__all__ = [
+    "Dim", "Shape", "AbstractValue", "ShapeSpec", "ParamSpec",
+    "UNKNOWN", "array_value", "rng_value", "dim_str", "shape_str",
+    "dims_definitely_differ", "match_patterns", "join_values",
+    "promote_dtype", "NARROW_DTYPES", "WIDE_DTYPES",
+]
+
+#: A dimension: ``None`` (unknown) or ``(coeff, var)`` meaning
+#: ``coeff * var`` (``var=None`` -> the integer ``coeff``).
+Dim = Optional[Tuple[int, Optional[str]]]
+
+#: A shape: ``None`` (unknown rank) or a tuple of dimensions.
+Shape = Optional[Tuple[Dim, ...]]
+
+#: Reduced-precision dtypes that violate the float64 pipeline contract.
+NARROW_DTYPES = frozenset({
+    "float32", "float16", "half", "single", "complex64", "csingle",
+})
+
+#: Full-precision dtypes of the documented pipeline.
+WIDE_DTYPES = frozenset({"float64", "double", "complex128", "cdouble"})
+
+
+@dataclass(frozen=True)
+class AbstractValue:
+    """One abstract fact about a runtime value.
+
+    ``kind`` is one of ``"array"``, ``"rng"``, ``"set"``, ``"dict"``,
+    ``"scalar"``, ``"unknown"``.  Shape/dtype/contiguity only carry
+    meaning for arrays; ``None`` always means "no information".
+    """
+
+    kind: str = "unknown"
+    shape: Shape = None
+    dtype: Optional[str] = None
+    contiguous: Optional[bool] = None
+    #: Parameter name this value *is* (identity flow only), or None.
+    origin: Optional[str] = None
+    #: Short human label of where the fact was established.
+    provenance: str = ""
+
+    @property
+    def rank(self) -> Optional[int]:
+        return None if self.shape is None else len(self.shape)
+
+    def but(self, **changes: object) -> "AbstractValue":
+        return replace(self, **changes)  # type: ignore[arg-type]
+
+
+UNKNOWN = AbstractValue()
+
+
+def array_value(shape: Shape = None, dtype: Optional[str] = None,
+                contiguous: Optional[bool] = None,
+                provenance: str = "") -> AbstractValue:
+    return AbstractValue(kind="array", shape=shape, dtype=dtype,
+                         contiguous=contiguous, provenance=provenance)
+
+
+def rng_value(provenance: str = "") -> AbstractValue:
+    return AbstractValue(kind="rng", provenance=provenance)
+
+
+def dim_str(dim: Dim) -> str:
+    if dim is None:
+        return "?"
+    coeff, var = dim
+    if var is None:
+        return str(coeff)
+    return var if coeff == 1 else f"{coeff}*{var}"
+
+
+def shape_str(shape: Shape) -> str:
+    if shape is None:
+        return "(?)"
+    inner = ", ".join(dim_str(d) for d in shape)
+    if len(shape) == 1:
+        inner += ","
+    return f"({inner})"
+
+
+def dims_definitely_differ(a: Dim, b: Dim) -> bool:
+    """True when two dimensions provably cannot be equal.
+
+    Constants differ when unequal; symbolic dims differ only when they
+    share the *same* symbol with different coefficients (the ``n`` vs
+    ``3n`` heuristic — see the module docstring).
+    """
+    if a is None or b is None:
+        return False
+    ca, va = a
+    cb, vb = b
+    if va is None and vb is None:
+        return ca != cb
+    if va is not None and va == vb:
+        return ca != cb
+    return False
+
+
+def join_dim(a: Dim, b: Dim) -> Dim:
+    return a if a == b else None
+
+
+def join_shape(a: Shape, b: Shape) -> Shape:
+    if a is None or b is None or len(a) != len(b):
+        return None
+    return tuple(join_dim(x, y) for x, y in zip(a, b))
+
+
+def join_values(a: AbstractValue, b: AbstractValue) -> AbstractValue:
+    """Least upper bound of two facts (control-flow merge).
+
+    One asymmetry: ``rng ⊔ unknown = rng``.  The determinism rules must
+    stay liberal — claiming "no Generator was passed" on a maybe would
+    be a false positive — and the one idiom that produces this merge,
+    ``seed if isinstance(seed, Generator) else default_rng(seed)``,
+    always yields a Generator at runtime anyway.
+    """
+    if {a.kind, b.kind} == {"rng", "unknown"}:
+        return AbstractValue(kind="rng",
+                             provenance=a.provenance or b.provenance)
+    if a is UNKNOWN or b is UNKNOWN:
+        return UNKNOWN
+    if a.kind != b.kind:
+        return UNKNOWN
+    return AbstractValue(
+        kind=a.kind,
+        shape=join_shape(a.shape, b.shape),
+        dtype=a.dtype if a.dtype == b.dtype else None,
+        contiguous=a.contiguous if a.contiguous == b.contiguous else None,
+        origin=a.origin if a.origin == b.origin else None,
+        provenance=a.provenance or b.provenance)
+
+
+def promote_dtype(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """NumPy-style promotion restricted to the dtypes we track."""
+    if a is None or b is None:
+        return None
+    complex_out = ("complex" in a or "csingle" in a or "cdouble" in a
+                   or "complex" in b or "csingle" in b or "cdouble" in b)
+    wide = a in WIDE_DTYPES or b in WIDE_DTYPES
+    if complex_out:
+        return "complex128" if wide else "complex64"
+    return "float64" if wide else ("float32" if a == b == "float32" else a)
+
+
+# ----------------------------------------------------------------------
+# callee parameter specifications and pattern matching
+# ----------------------------------------------------------------------
+
+#: A shape pattern: a tuple of ``(coeff, var)`` pattern dimensions.
+#: Pattern variables (upper-case by convention) unify against the
+#: caller's dimensions within one call site.
+Pattern = Tuple[Tuple[int, Optional[str]], ...]
+
+
+@dataclass(frozen=True)
+class ShapeSpec:
+    """Accepted shapes of one parameter (any pattern may match)."""
+
+    patterns: Tuple[Pattern, ...]
+    what: str = "array"
+
+    def ranks(self) -> frozenset:
+        return frozenset(len(p) for p in self.patterns)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """Requirements one callee parameter imposes on its argument."""
+
+    name: str
+    shape: Optional[ShapeSpec] = None
+    #: argument must be float64/complex128 (documented pipeline dtype)
+    require_wide: bool = False
+    #: argument must be C-contiguous (FFT / BCSR / C-kernel entry)
+    require_contiguous: bool = False
+    #: names of the performance-critical sinks the value reaches
+    sinks: frozenset = frozenset()
+    #: this parameter is a numpy.random.Generator
+    is_rng: bool = False
+
+    def merged(self, other: "ParamSpec") -> "ParamSpec":
+        return ParamSpec(
+            name=self.name,
+            shape=self.shape or other.shape,
+            require_wide=self.require_wide or other.require_wide,
+            require_contiguous=(self.require_contiguous
+                                or other.require_contiguous),
+            sinks=self.sinks | other.sinks,
+            is_rng=self.is_rng or other.is_rng)
+
+
+def _match_one(pattern: Pattern, shape: Tuple[Dim, ...],
+               bindings: dict) -> bool:
+    """Try to unify ``pattern`` with a fully/partially known shape.
+
+    Returns False only on a *definite* mismatch; unknown dimensions
+    always unify.  ``bindings`` (pattern var -> caller Dim) is shared
+    across all parameters of a call so repeated variables — ``(D, D)``
+    square matrices, the ``N`` of positions and forces — must agree.
+    """
+    if len(pattern) != len(shape):
+        return False
+    trial = dict(bindings)
+    for (coeff, var), dim in zip(pattern, shape):
+        if dim is None:
+            continue
+        dcoeff, dvar = dim
+        if var is None:  # concrete pattern dimension, e.g. the 3 of (n, 3)
+            if dvar is None and dcoeff != coeff:
+                return False
+            continue
+        # pattern dimension coeff * VAR: VAR binds to dim / coeff
+        if dcoeff % coeff != 0:
+            return False
+        bound: Dim = (dcoeff // coeff, dvar)
+        prev = trial.get(var)
+        if prev is not None and dims_definitely_differ(prev, bound):
+            return False
+        trial[var] = bound
+    bindings.clear()
+    bindings.update(trial)
+    return True
+
+
+def match_patterns(spec: ShapeSpec, shape: Shape, bindings: dict) -> bool:
+    """True unless ``shape`` definitely matches none of the patterns."""
+    if shape is None:
+        return True
+    for pattern in spec.patterns:
+        trial = dict(bindings)
+        if _match_one(pattern, shape, trial):
+            bindings.clear()
+            bindings.update(trial)
+            return True
+    return False

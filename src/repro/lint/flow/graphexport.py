@@ -1,0 +1,71 @@
+"""JSON export of the whole-program model (``repro lint --graph``).
+
+The export is a debugging and CI artifact: it shows exactly what the
+dataflow rules saw — which calls resolved to which functions, what
+summary each function earned (shape/dtype facts, stochasticity, rng
+parameter) and which functions the hot registry covers.  CI uploads it
+so a surprising finding can be diagnosed from the artifact alone.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .project import ProjectModel, build_project
+
+__all__ = ["project_to_dict", "export_graph", "build_analyzed_project"]
+
+
+def build_analyzed_project(paths: Iterable[str | Path]) -> ProjectModel:
+    """Parse ``paths`` and run the full whole-program analysis."""
+    from ..engine import FileContext, iter_python_files, parse_context
+    from .rules_flow import ensure_analyzed
+
+    contexts = []
+    for path in iter_python_files(paths):
+        parsed = parse_context(path.read_text(encoding="utf-8"), str(path))
+        if isinstance(parsed, FileContext):
+            contexts.append((parsed.display_path, parsed.tree))
+    project = build_project(contexts)
+    ensure_analyzed(project)
+    return project
+
+
+def project_to_dict(project: ProjectModel) -> dict:
+    """Serializable view of modules, call graph, summaries and hot set."""
+    modules = {
+        mod.modname: {
+            "path": mod.path,
+            "functions": sorted(mod.functions),
+        }
+        for mod in sorted(project.modules.values(),
+                          key=lambda m: m.modname)
+    }
+    call_graph = {
+        caller: sorted(set(callees))
+        for caller, callees in sorted(project.call_graph.items())
+        if callees
+    }
+    summaries = {
+        qual: summary.to_dict()
+        for qual, summary in sorted(project.summaries.items())
+    }
+    return {
+        "version": 1,
+        "tool": "repro-lint",
+        "modules": modules,
+        "call_graph": call_graph,
+        "summaries": summaries,
+        "hot": {qual: span for qual, span in sorted(project.hot.items())},
+    }
+
+
+def export_graph(paths: Iterable[str | Path],
+                 out_path: str | Path) -> dict:
+    """Analyze ``paths`` and write the model JSON to ``out_path``."""
+    payload = project_to_dict(build_analyzed_project(paths))
+    Path(out_path).write_text(json.dumps(payload, indent=2) + "\n",
+                              encoding="utf-8")
+    return payload

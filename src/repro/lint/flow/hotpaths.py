@@ -1,0 +1,85 @@
+"""Hot-path registry derived from the observability span names.
+
+The paper's per-step cost lives in the PME pipeline, the Krylov
+solvers and the sparse real-space product — exactly the code the
+observability layer (PR 3) already wraps in trace spans
+(``pme.spread``, ``krylov.lanczos``, ``pme.real_spmm``, ...).  Instead
+of maintaining a hand-written list of hot functions, the analysis
+*derives* it: any function in the ``pme`` / ``krylov`` / ``sparse``
+packages that opens an ``obs.span(...)`` or times a
+``PhaseTimer.phase(...)`` is a measured hot phase, and everything it
+(transitively) calls inside those packages runs under that span.
+
+``HOT_EXTRA`` lets a project pin additional qualnames manually.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+from .project import FunctionInfo, ProjectModel, dotted_name
+
+__all__ = ["HOT_PACKAGES", "HOT_EXTRA", "derive_hot_registry"]
+
+#: package path components whose span-opening functions are hot.
+HOT_PACKAGES = frozenset({"pme", "krylov", "sparse"})
+
+#: qualname -> label; manual additions to the derived registry.
+HOT_EXTRA: Dict[str, str] = {}
+
+
+def _in_hot_package(info: FunctionInfo) -> bool:
+    parts = set(info.module.package_parts)
+    parts.update(info.module.path.replace("\\", "/").split("/"))
+    return bool(parts & HOT_PACKAGES)
+
+
+def _span_name(node: ast.Call) -> Optional[str]:
+    """Span/phase name of an ``obs.span("x")`` / ``timers.phase("x")``
+    call; ``None`` for anything else."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr not in ("span", "phase"):
+        return None
+    if not node.args:
+        return None
+    arg = node.args[0]
+    if not (isinstance(arg, ast.Constant) and isinstance(arg.value, str)):
+        return None
+    if func.attr == "span":
+        receiver = dotted_name(func.value) or ""
+        if receiver.split(".")[-1] not in ("obs", "trace", "tracer", "_trace"):
+            return None
+        return arg.value
+    return f"phase:{arg.value}"
+
+
+def derive_hot_registry(project: ProjectModel) -> Dict[str, str]:
+    """Map hot function qualnames to the span that marks them hot."""
+    hot: Dict[str, str] = dict(HOT_EXTRA)
+    for info in project.iter_functions():
+        if not _in_hot_package(info):
+            continue
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                name = _span_name(node)
+                if name is not None:
+                    hot.setdefault(info.qualname, name)
+                    break
+    # everything a hot function calls inside the hot packages runs
+    # under the same span
+    frontier = sorted(hot)
+    while frontier:
+        qual = frontier.pop()
+        label = hot[qual]
+        for callee in project.call_graph.get(qual, []):
+            if callee in hot:
+                continue
+            info = project.function(callee)
+            if info is not None and _in_hot_package(info):
+                hot[callee] = label
+                frontier.append(callee)
+    project.hot = hot
+    return hot

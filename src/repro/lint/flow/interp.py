@@ -1,0 +1,843 @@
+"""Intraprocedural abstract interpretation over NumPy-shaped values.
+
+One linear forward pass per function (branches are joined, loop bodies
+interpreted once at increased loop depth) computes an environment of
+:class:`~repro.lint.flow.domain.AbstractValue` facts and records the
+observations the whole-program rules consume:
+
+* every call site with the abstract values of its arguments,
+* array allocations / implicit copies and their loop depth,
+* ``for`` loops over unordered containers and whether their body
+  accumulates numerically,
+* ``numpy.random`` Generator creations and draws.
+
+The pass is deliberately conservative: any construct it does not model
+degrades the affected facts to "unknown", never to a wrong claim — the
+rules only fire on *definite* information.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .domain import (
+    AbstractValue,
+    Dim,
+    NARROW_DTYPES,
+    Shape,
+    UNKNOWN,
+    array_value,
+    join_values,
+    promote_dtype,
+    rng_value,
+)
+from .project import FunctionInfo, dotted_name
+
+__all__ = ["CallObs", "AllocObs", "SetLoopObs", "FunctionAnalysis",
+           "interpret_function", "RNG_DRAW_METHODS"]
+
+#: numpy constructors returning a freshly allocated array.
+_ALLOC_FUNCS = frozenset({"zeros", "ones", "empty", "full"})
+_ALLOC_LIKE = frozenset({"zeros_like", "ones_like", "empty_like",
+                         "full_like"})
+_RANGE_FUNCS = frozenset({"arange", "linspace", "logspace"})
+#: calls that (may) produce a fresh copy of an existing array.
+_COPY_FUNCS = frozenset({"ascontiguousarray", "asfortranarray", "require",
+                         "copy", "concatenate", "stack", "vstack", "hstack",
+                         "column_stack", "tile", "repeat"})
+_COPY_METHODS = frozenset({"astype", "copy", "flatten"})
+#: numpy.random.Generator draw methods (stochastic provenance).
+RNG_DRAW_METHODS = frozenset({
+    "standard_normal", "normal", "random", "integers", "uniform",
+    "choice", "permutation", "shuffle", "exponential", "gamma", "beta",
+    "poisson", "binomial",
+})
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+_FFT_COMPLEX = frozenset({"fft", "fft2", "fftn", "rfft", "rfft2", "rfftn",
+                          "ifft", "ifft2", "ifftn", "hfft"})
+_FFT_REAL = frozenset({"irfft", "irfft2", "irfftn", "ihfft"})
+
+
+@dataclass
+class CallObs:
+    """One observed call site with abstract argument facts."""
+
+    node: ast.Call
+    callee: Optional[str]          #: resolved qualname / dotted external
+    pos_args: List[AbstractValue]
+    kw_args: Dict[str, AbstractValue]
+    loop_depth: int
+    star_args: bool = False        #: *args/**kwargs present (facts partial)
+
+    @property
+    def passes_rng(self) -> bool:
+        return any(v.kind == "rng" for v in self.pos_args) or \
+            any(v.kind == "rng" for v in self.kw_args.values())
+
+
+@dataclass
+class AllocObs:
+    """One array allocation or implicit copy."""
+
+    node: ast.AST
+    label: str                     #: e.g. ``np.zeros`` or ``.astype``
+    kind: str                      #: ``"alloc"`` or ``"copy"``
+    loop_depth: int
+
+
+@dataclass
+class SetLoopObs:
+    """A ``for`` loop iterating an unordered container."""
+
+    node: ast.AST
+    source: str                    #: provenance of the container
+    accumulates: bool = False
+
+
+@dataclass
+class FunctionAnalysis:
+    """Everything the rules need to know about one function."""
+
+    qualname: str
+    calls: List[CallObs] = field(default_factory=list)
+    allocs: List[AllocObs] = field(default_factory=list)
+    set_loops: List[SetLoopObs] = field(default_factory=list)
+    #: ``(node, local name)`` of each ``default_rng`` creation
+    rng_created: List[Tuple[ast.AST, str]] = field(default_factory=list)
+    #: parameter names used directly as a Generator (draw methods)
+    rng_draw_params: set = field(default_factory=set)
+    #: the function draws randomness somewhere in its own body
+    draws_randomness: bool = False
+    returns: AbstractValue = UNKNOWN
+
+
+# ----------------------------------------------------------------------
+# the interpreter
+# ----------------------------------------------------------------------
+
+SummaryLookup = Callable[[str], Optional[AbstractValue]]
+"""Maps a resolved callee to its summarized return value (or None)."""
+
+
+class _Interpreter:
+    def __init__(self, info: FunctionInfo,
+                 resolve: Callable[[ast.expr], Optional[str]],
+                 returns_of: SummaryLookup,
+                 initial_env: Dict[str, AbstractValue]) -> None:
+        self.info = info
+        self.resolve = resolve
+        self.returns_of = returns_of
+        self.env: Dict[str, AbstractValue] = dict(initial_env)
+        self.result = FunctionAnalysis(qualname=info.qualname)
+        self.loop_depth = 0
+
+    # -- statements ----------------------------------------------------
+
+    def run(self) -> FunctionAnalysis:
+        self.exec_body(self.info.node.body)
+        return self.result
+
+    def exec_body(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value)
+            for target in stmt.targets:
+                self.assign(target, value, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.assign(stmt.target, self.eval(stmt.value), stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self.eval(stmt.value)
+            if isinstance(stmt.target, ast.Name):
+                prev = self.env.get(stmt.target.id, UNKNOWN)
+                out = self.binop_result(prev, value)
+                self.env[stmt.target.id] = out.but(origin=None)
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            value = self.eval(stmt.value) if stmt.value is not None \
+                else UNKNOWN
+            self.result.returns = (
+                value if self.result.returns is UNKNOWN
+                else join_values(self.result.returns, value))
+        elif isinstance(stmt, ast.If):
+            self.eval(stmt.test)
+            self.exec_branches([stmt.body, stmt.orelse])
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.exec_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test)
+            self.loop_depth += 1
+            before = dict(self.env)
+            self.exec_body(stmt.body)
+            self.loop_depth -= 1
+            self.join_env(before)
+            self.exec_body(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    self.assign(item.optional_vars, UNKNOWN,
+                                item.context_expr)
+            self.exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            before = dict(self.env)
+            self.exec_body(stmt.body)
+            for handler in stmt.handlers:
+                saved = dict(self.env)
+                self.env = dict(before)
+                self.exec_body(handler.body)
+                self.join_env(saved)
+            self.exec_body(stmt.orelse)
+            self.exec_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                               ast.ClassDef)):
+            pass  # nested scopes are separate analysis units
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    self.env.pop(target.id, None)
+        # raise/pass/import/global/assert: no dataflow effect we track
+
+    def exec_branches(self, branches: List[List[ast.stmt]]) -> None:
+        before = dict(self.env)
+        merged: Optional[Dict[str, AbstractValue]] = None
+        for body in branches:
+            self.env = dict(before)
+            self.exec_body(body)
+            if merged is None:
+                merged = self.env
+            else:
+                merged = self._joined(merged, self.env)
+        self.env = merged if merged is not None else before
+
+    def exec_for(self, stmt: ast.For | ast.AsyncFor) -> None:
+        iter_value = self.eval(stmt.iter)
+        if iter_value.kind == "set":
+            self.result.set_loops.append(SetLoopObs(
+                node=stmt, source=iter_value.provenance or "set",
+                accumulates=_body_accumulates(stmt.body)))
+        element = self.element_of(iter_value)
+        self.assign(stmt.target, element, stmt.iter)
+        self.loop_depth += 1
+        before = dict(self.env)
+        self.exec_body(stmt.body)
+        self.loop_depth -= 1
+        self.join_env(before)
+        self.exec_body(stmt.orelse)
+
+    @staticmethod
+    def element_of(iterable: AbstractValue) -> AbstractValue:
+        """Abstract value of one element of an iterated container."""
+        if iterable.kind == "array" and iterable.shape is not None \
+                and len(iterable.shape) >= 2:
+            return array_value(shape=iterable.shape[1:],
+                               dtype=iterable.dtype,
+                               contiguous=iterable.contiguous,
+                               provenance="iteration")
+        return UNKNOWN
+
+    def join_env(self, other: Dict[str, AbstractValue]) -> None:
+        self.env = self._joined(self.env, other)
+
+    @staticmethod
+    def _joined(a: Dict[str, AbstractValue],
+                b: Dict[str, AbstractValue]) -> Dict[str, AbstractValue]:
+        out: Dict[str, AbstractValue] = {}
+        for name in set(a) | set(b):
+            va, vb = a.get(name, UNKNOWN), b.get(name, UNKNOWN)
+            out[name] = join_values(va, vb)
+        return out
+
+    def assign(self, target: ast.expr, value: AbstractValue,
+               source: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value.but(origin=None) \
+                if not isinstance(source, ast.Name) else value
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self.assign(elt, UNKNOWN, source)
+        # subscript/attribute targets: no tracked effect
+
+    # -- expressions ---------------------------------------------------
+
+    def eval(self, node: ast.expr) -> AbstractValue:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, UNKNOWN)
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                    node.value, (int, float, complex)):
+                return UNKNOWN
+            dim: Dim = ((int(node.value), None)
+                        if isinstance(node.value, int) else None)
+            return AbstractValue(kind="scalar", shape=None, dtype=None,
+                                 contiguous=None).but(provenance="const") \
+                if dim is None else _scalar_dim(dim)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, ast.Attribute):
+            return self.eval_attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self.eval_subscript(node)
+        if isinstance(node, ast.BinOp):
+            return self.eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            return self.eval(node.operand).but(origin=None)
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            for sub in ast.iter_child_nodes(node):
+                if isinstance(sub, ast.expr):
+                    self.eval(sub)
+            return AbstractValue(kind="set", provenance="set literal")
+        if isinstance(node, (ast.Dict, ast.DictComp)):
+            return AbstractValue(kind="dict", provenance="dict literal")
+        if isinstance(node, (ast.List, ast.ListComp, ast.Tuple,
+                             ast.GeneratorExp)):
+            return UNKNOWN
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test)
+            return join_values(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, (ast.Compare, ast.BoolOp)):
+            return UNKNOWN
+        if isinstance(node, ast.Starred):
+            return self.eval(node.value)
+        return UNKNOWN
+
+    def eval_binop(self, node: ast.BinOp) -> AbstractValue:
+        left, right = self.eval(node.left), self.eval(node.right)
+        if isinstance(node.op, ast.Mult):
+            dim = _scale_dim(left, right)
+            if dim is not None:
+                return _scalar_dim(dim)
+        if isinstance(node.op, ast.MatMult):
+            return self.matmul_result(left, right)
+        return self.binop_result(left, right)
+
+    @staticmethod
+    def binop_result(left: AbstractValue,
+                     right: AbstractValue) -> AbstractValue:
+        if left.kind != "array" and right.kind != "array":
+            return UNKNOWN
+        shape: Shape = None
+        for v in (left, right):
+            if v.kind == "array" and v.shape is not None:
+                if shape is None or len(v.shape) > len(shape):
+                    shape = v.shape
+        return array_value(shape=shape,
+                           dtype=promote_dtype(left.dtype, right.dtype)
+                           if left.kind == right.kind == "array"
+                           else (left.dtype or right.dtype),
+                           contiguous=True, provenance="arithmetic")
+
+    @staticmethod
+    def matmul_result(left: AbstractValue,
+                      right: AbstractValue) -> AbstractValue:
+        shape: Shape = None
+        if (left.kind == "array" and right.kind == "array"
+                and left.shape is not None and right.shape is not None):
+            if len(left.shape) == 2 and len(right.shape) == 1:
+                shape = (left.shape[0],)
+            elif len(left.shape) == 2 and len(right.shape) == 2:
+                shape = (left.shape[0], right.shape[1])
+        return array_value(shape=shape,
+                           dtype=promote_dtype(left.dtype, right.dtype),
+                           contiguous=True, provenance="matmul")
+
+    # -- attributes / subscripts ---------------------------------------
+
+    def eval_attribute(self, node: ast.Attribute) -> AbstractValue:
+        value = self.eval(node.value)
+        if node.attr == "T" and value.kind == "array":
+            shape = None if value.shape is None else value.shape[::-1]
+            if value.rank is not None and value.rank >= 2:
+                contig: Optional[bool] = False
+            elif value.rank == 1:
+                contig = value.contiguous
+            else:
+                contig = None
+            return value.but(shape=shape, contiguous=contig, origin=None,
+                             provenance="transpose")
+        return UNKNOWN
+
+    def eval_subscript(self, node: ast.Subscript) -> AbstractValue:
+        value = self.eval(node.value)
+        # x.shape[i] -> a scalar carrying that dimension
+        if (isinstance(node.value, ast.Attribute)
+                and node.value.attr == "shape"):
+            owner = self.eval(node.value.value)
+            index = _const_int(node.slice)
+            if (owner.kind == "array" and owner.shape is not None
+                    and index is not None and -len(owner.shape) <= index
+                    < len(owner.shape)):
+                return _scalar_dim(owner.shape[index])
+            name = _receiver_name(node.value.value)
+            if name is not None and index is not None:
+                return _scalar_dim((1, f"{name}.shape[{index}]"))
+            return AbstractValue(kind="scalar")
+        if value.kind != "array":
+            return UNKNOWN
+        return _sliced(value, node.slice)
+
+    # -- calls ---------------------------------------------------------
+
+    def eval_call(self, node: ast.Call) -> AbstractValue:
+        pos_args = [self.eval(a) for a in node.args
+                    if not isinstance(a, ast.Starred)]
+        kw_args = {k.arg: self.eval(k.value) for k in node.keywords
+                   if k.arg is not None}
+        star = (len(pos_args) != len(node.args)
+                or any(k.arg is None for k in node.keywords))
+
+        callee = self.resolve(node.func)
+        self.result.calls.append(CallObs(
+            node=node, callee=callee, pos_args=pos_args, kw_args=kw_args,
+            loop_depth=self.loop_depth, star_args=star))
+
+        value = self._builtin_call(node, callee, pos_args, kw_args)
+        if value is not None:
+            return value
+        if callee is not None:
+            ret = self.returns_of(callee)
+            if ret is not None:
+                return ret.but(origin=None)
+        return UNKNOWN
+
+    def _builtin_call(self, node: ast.Call, callee: Optional[str],
+                      pos: List[AbstractValue],
+                      kw: Dict[str, AbstractValue]
+                      ) -> Optional[AbstractValue]:
+        """Model well-known numpy / stdlib calls; None = not builtin."""
+        func = node.func
+        tail = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None)
+        if tail is None:
+            return None
+        dotted = dotted_name(func) or tail
+        is_np = dotted.split(".")[0] in ("np", "numpy") or dotted == tail
+
+        # -- allocations ------------------------------------------------
+        if tail in _ALLOC_FUNCS and is_np and node.args:
+            self.result.allocs.append(AllocObs(
+                node=node, label=f"np.{tail}", kind="alloc",
+                loop_depth=self.loop_depth))
+            shape = self._shape_argument(node.args[0])
+            dtype = _dtype_keyword(node, default="float64")
+            order = _order_keyword(node)
+            return array_value(shape=shape, dtype=dtype,
+                               contiguous=(order != "F"),
+                               provenance=f"np.{tail}")
+        if tail in _ALLOC_LIKE and is_np and pos:
+            self.result.allocs.append(AllocObs(
+                node=node, label=f"np.{tail}", kind="alloc",
+                loop_depth=self.loop_depth))
+            base = pos[0]
+            dtype = _dtype_keyword(node, default=base.dtype)
+            return array_value(shape=base.shape, dtype=dtype,
+                               contiguous=True, provenance=f"np.{tail}")
+        if tail in _RANGE_FUNCS and is_np:
+            return array_value(shape=None,
+                               dtype=_dtype_keyword(node, default="float64"),
+                               contiguous=True, provenance=f"np.{tail}")
+
+        # -- conversions / copies --------------------------------------
+        if tail in ("asarray", "array", "ascontiguousarray", "require",
+                    "asfortranarray") and is_np and pos:
+            base = pos[0]
+            dtype = _dtype_keyword(node, default=base.dtype)
+            if tail in ("ascontiguousarray", "require"):
+                self.result.allocs.append(AllocObs(
+                    node=node, label=f"np.{tail}", kind="copy",
+                    loop_depth=self.loop_depth))
+                contiguous: Optional[bool] = True
+            elif tail == "asfortranarray":
+                self.result.allocs.append(AllocObs(
+                    node=node, label=f"np.{tail}", kind="copy",
+                    loop_depth=self.loop_depth))
+                contiguous = False
+            elif tail == "array":
+                contiguous = True
+            else:
+                contiguous = base.contiguous if base.kind == "array" \
+                    else True
+            shape = base.shape if base.kind == "array" else None
+            return array_value(shape=shape, dtype=dtype,
+                               contiguous=contiguous,
+                               provenance=f"np.{tail}")
+        if tail in _COPY_FUNCS and is_np:
+            self.result.allocs.append(AllocObs(
+                node=node, label=f"np.{tail}", kind="copy",
+                loop_depth=self.loop_depth))
+            return array_value(contiguous=True, provenance=f"np.{tail}")
+
+        # -- FFT --------------------------------------------------------
+        if (callee or "").startswith(("numpy.fft.", "scipy.fft.")) or \
+                (isinstance(func, ast.Attribute)
+                 and dotted_name(func.value) in ("np.fft", "numpy.fft")):
+            if tail in _FFT_COMPLEX:
+                return array_value(dtype="complex128", contiguous=True,
+                                   provenance=f"fft.{tail}")
+            if tail in _FFT_REAL:
+                return array_value(dtype="float64", contiguous=True,
+                                   provenance=f"fft.{tail}")
+
+        # -- RNG --------------------------------------------------------
+        if tail == "default_rng":
+            name = _assigned_name(node)
+            self.result.rng_created.append((node, name or "<anonymous>"))
+            return rng_value(provenance="default_rng")
+        if tail in RNG_DRAW_METHODS and isinstance(func, ast.Attribute):
+            receiver = self.eval(func.value)
+            if receiver.kind == "rng":
+                self.result.draws_randomness = True
+                if receiver.origin is not None:
+                    self.result.rng_draw_params.add(receiver.origin)
+                shape = (self._shape_argument(node.args[0])
+                         if node.args else None)
+                if "size" in {k.arg for k in node.keywords}:
+                    for k in node.keywords:
+                        if k.arg == "size":
+                            shape = self._shape_argument(k.value)
+                return array_value(shape=shape, dtype="float64",
+                                   contiguous=True,
+                                   provenance=f"rng.{tail}")
+
+        # -- array methods ---------------------------------------------
+        if isinstance(func, ast.Attribute):
+            receiver = self.eval(func.value)
+            if receiver.kind == "array":
+                return self._array_method(node, tail, receiver)
+            if (receiver.kind == "unknown" and tail in _COPY_METHODS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in self.env):
+                # .copy()/.astype()/.flatten() on a *local variable*
+                # allocates whatever the receiver's concrete type is;
+                # record it even though the array fact was lost (typical
+                # for uncontracted hot-helper params).  The Name-in-env
+                # guard keeps module calls (shutil.copy) out.
+                self.result.allocs.append(AllocObs(
+                    node=node, label=f".{tail}", kind="copy",
+                    loop_depth=self.loop_depth))
+                return UNKNOWN
+            if tail == "fromkeys" and pos and pos[0].kind == "set":
+                return AbstractValue(kind="set",
+                                     provenance="dict.fromkeys(set)")
+            if receiver.kind in ("set", "dict") and tail in (
+                    "keys", "values", "items", "union", "intersection",
+                    "difference", "symmetric_difference"):
+                kind = receiver.kind if tail in ("keys", "values", "items") \
+                    else "set"
+                return AbstractValue(kind=kind,
+                                     provenance=receiver.provenance)
+
+        # -- containers / ordering helpers ------------------------------
+        if tail in _SET_CONSTRUCTORS and isinstance(func, ast.Name):
+            return AbstractValue(kind="set", provenance=f"{tail}()")
+        if tail in ("sorted", "list", "tuple") and isinstance(func, ast.Name):
+            return UNKNOWN  # ordered view: not flaggable
+        if tail == "sum" and node.args:
+            src = self._unordered_source(node.args[0], pos[0] if pos
+                                         else UNKNOWN)
+            if src is not None:
+                self.result.set_loops.append(SetLoopObs(
+                    node=node, source=src, accumulates=True))
+        return None
+
+    def _unordered_source(self, arg: ast.expr,
+                          value: AbstractValue) -> Optional[str]:
+        """Provenance string when ``sum(arg)`` folds an unordered
+        container (directly or through a generator expression)."""
+        if value.kind == "set":
+            return value.provenance or "set"
+        if isinstance(arg, (ast.GeneratorExp, ast.ListComp, ast.SetComp)) \
+                and arg.generators:
+            inner = self.eval(arg.generators[0].iter)
+            if inner.kind == "set":
+                return inner.provenance or "set"
+        return None
+
+    def _array_method(self, node: ast.Call, method: str,
+                      receiver: AbstractValue) -> Optional[AbstractValue]:
+        if method in _COPY_METHODS:
+            self.result.allocs.append(AllocObs(
+                node=node, label=f".{method}", kind="copy",
+                loop_depth=self.loop_depth))
+        if method == "astype":
+            dtype = None
+            if node.args:
+                dtype = _dtype_of_node(node.args[0])
+            return receiver.but(dtype=dtype, contiguous=True, origin=None,
+                                provenance=".astype")
+        if method == "copy":
+            return receiver.but(contiguous=True, origin=None,
+                                provenance=".copy")
+        if method in ("reshape", "ravel", "flatten"):
+            if method == "reshape" and node.args:
+                args = node.args
+                if len(args) == 1 and isinstance(args[0], ast.Tuple):
+                    args = list(args[0].elts)
+                if len(args) == 1 and _const_int(args[0]) == -1:
+                    shape: Shape = (_flat_dim(receiver.shape),)
+                else:
+                    shape = tuple(
+                        None if _const_int(a) == -1 else self._dim_of(a)
+                        for a in args)
+            else:
+                shape = (_flat_dim(receiver.shape),)
+            contiguous = True if method == "flatten" else (
+                True if receiver.contiguous else None)
+            return receiver.but(shape=shape, contiguous=contiguous,
+                                origin=None, provenance=f".{method}")
+        if method == "transpose":
+            shape = None if receiver.shape is None else receiver.shape[::-1]
+            return receiver.but(shape=shape, contiguous=False, origin=None,
+                                provenance=".transpose")
+        if method in ("sum", "mean", "dot", "conj", "conjugate", "clip"):
+            return UNKNOWN
+        return UNKNOWN
+
+    # -- helpers -------------------------------------------------------
+
+    def _dim_of(self, node: ast.expr) -> Dim:
+        value = self.eval(node)
+        if value.kind == "scalar" and value.shape is not None \
+                and len(value.shape) == 1:
+            return value.shape[0]
+        if isinstance(node, ast.Name):
+            return (1, node.id)
+        if isinstance(node, ast.Constant) and isinstance(node.value, int):
+            return (node.value, None)
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult):
+            left, right = self.eval(node.left), self.eval(node.right)
+            dim = _scale_dim(left, right)
+            if dim is not None:
+                return dim
+            cl = _const_int(node.left)
+            if cl is not None:
+                inner = self._dim_of(node.right)
+                if inner is not None:
+                    return (cl * inner[0], inner[1])
+            cr = _const_int(node.right)
+            if cr is not None:
+                inner = self._dim_of(node.left)
+                if inner is not None:
+                    return (cr * inner[0], inner[1])
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "len" and node.args:
+            inner = self.eval(node.args[0])
+            if inner.kind == "array" and inner.shape:
+                return inner.shape[0]
+            name = _receiver_name(node.args[0])
+            if name is not None:
+                return (1, f"len({name})")
+        dotted = dotted_name(node)
+        if dotted is not None:
+            return (1, dotted)
+        return None
+
+    def _shape_argument(self, node: ast.expr) -> Shape:
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return tuple(self._dim_of(e) for e in node.elts)
+        value = self.eval(node)
+        if value.kind == "scalar" and value.shape is not None:
+            return value.shape
+        dim = self._dim_of(node)
+        return (dim,)
+
+
+# ----------------------------------------------------------------------
+# module-level helpers
+# ----------------------------------------------------------------------
+
+def _sliced(value: AbstractValue, index: ast.expr) -> AbstractValue:
+    """Abstract result of ``value[index]`` for an array value.
+
+    Only definitely-known effects are modelled: integer indices reduce
+    the rank, step slices break contiguity, narrowing slices on a
+    non-leading axis break contiguity; everything else degrades to
+    "unknown contiguity" rather than guessing.
+    """
+    items = list(index.elts) if isinstance(index, ast.Tuple) else [index]
+    contiguous = value.contiguous
+    shape = value.shape
+    dropped = 0
+    for axis, item in enumerate(items):
+        if isinstance(item, ast.Slice):
+            has_step = item.step is not None and _const_int(item.step) != 1
+            narrowing = item.lower is not None or item.upper is not None
+            if has_step:
+                contiguous = False
+            elif narrowing and axis > 0:
+                contiguous = False
+            elif narrowing:
+                contiguous = value.contiguous  # leading-axis slice is fine
+            # the sliced dimension is no longer known
+            if shape is not None and axis - dropped < len(shape) \
+                    and narrowing:
+                new = list(shape)
+                new[axis - dropped] = None
+                shape = tuple(new)
+        elif _const_int(item) is not None:
+            if shape is not None and axis - dropped < len(shape):
+                new = list(shape)
+                del new[axis - dropped]
+                shape = tuple(new)
+                dropped += 1
+        elif isinstance(item, ast.Name):
+            # could be an int index (rank-1) or a boolean mask (same
+            # rank) — keep only the dtype fact
+            return array_value(dtype=value.dtype, contiguous=None,
+                               provenance="subscript")
+        elif isinstance(item, ast.Constant) and item.value is None:
+            # np.newaxis inserts a length-1 axis; give up on the shape
+            shape = None
+        else:
+            # advanced indexing (mask / fancy): fresh contiguous array
+            return array_value(dtype=value.dtype, contiguous=True,
+                               provenance="fancy-index")
+    if shape is not None and len(items) > (len(value.shape or ())):
+        shape = None
+    return value.but(shape=shape, contiguous=contiguous, origin=None,
+                     provenance="subscript")
+
+
+def _scalar_dim(dim: Dim) -> AbstractValue:
+    """An integer scalar carrying a symbolic dimension (stored as a
+    rank-1 pseudo-shape so AbstractValue needs no extra field)."""
+    return AbstractValue(kind="scalar", shape=(dim,))
+
+
+def _scale_dim(left: AbstractValue, right: AbstractValue) -> Dim:
+    """Dimension of ``left * right`` when both are tracked scalars."""
+    dims = []
+    for v in (left, right):
+        if v.kind == "scalar" and v.shape is not None and len(v.shape) == 1:
+            dims.append(v.shape[0])
+        else:
+            return None
+    a, b = dims
+    if a is None or b is None:
+        return None
+    if a[1] is not None and b[1] is not None:
+        return None  # n * m: nonlinear, give up
+    if a[1] is None:
+        return (a[0] * b[0], b[1])
+    return (a[0] * b[0], a[1])
+
+
+def _flat_dim(shape: Shape) -> Dim:
+    """Dimension of ``x.ravel()`` — the product of the dims when at most
+    one is symbolic."""
+    if shape is None:
+        return None
+    coeff, var = 1, None
+    for dim in shape:
+        if dim is None:
+            return None
+        c, v = dim
+        coeff *= c
+        if v is not None:
+            if var is not None:
+                return None
+            var = v
+    return (coeff, var)
+
+
+def _const_int(node: ast.expr) -> Optional[int]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_int(node.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def _receiver_name(node: ast.expr) -> Optional[str]:
+    return dotted_name(node)
+
+
+def _dtype_keyword(node: ast.Call,
+                   default: Optional[str] = None) -> Optional[str]:
+    for kw in node.keywords:
+        if kw.arg == "dtype":
+            return _dtype_of_node(kw.value) or None
+    return default
+
+
+def _dtype_of_node(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    name = node.attr if isinstance(node, ast.Attribute) else (
+        node.id if isinstance(node, ast.Name) else None)
+    if name in NARROW_DTYPES or name in (
+            "float64", "double", "complex128", "cdouble", "float",
+            "int64", "int32", "intp", "bool_"):
+        return name
+    return None
+
+
+def _order_keyword(node: ast.Call) -> Optional[str]:
+    for kw in node.keywords:
+        if kw.arg == "order" and isinstance(kw.value, ast.Constant) \
+                and isinstance(kw.value.value, str):
+            return kw.value.value
+    return None
+
+
+def _assigned_name(node: ast.Call) -> Optional[str]:
+    """Best effort: the Name an rng creation is assigned to (filled in
+    by the caller via the Assign statement; None when not a direct
+    assignment)."""
+    return None
+
+
+def _body_accumulates(body: List[ast.stmt]) -> bool:
+    """Does a loop body contain numeric accumulation (``acc += ...`` or
+    ``acc = acc + ...``)?"""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.AugAssign) and isinstance(
+                    node.op, (ast.Add, ast.Sub, ast.Mult)):
+                return True
+            if (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.BinOp)
+                    and isinstance(node.value.op, (ast.Add, ast.Sub))
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)):
+                target = node.targets[0].id
+                for side in (node.value.left, node.value.right):
+                    if isinstance(side, ast.Name) and side.id == target:
+                        return True
+    return False
+
+
+def interpret_function(info: FunctionInfo,
+                       resolve: Callable[[ast.expr], Optional[str]],
+                       returns_of: SummaryLookup,
+                       initial_env: Dict[str, AbstractValue]
+                       ) -> FunctionAnalysis:
+    """Run the abstract interpretation of one function body."""
+    interp = _Interpreter(info, resolve, returns_of, initial_env)
+    analysis = interp.run()
+    # attach local names to rng creations (via a second cheap pass)
+    _name_rng_creations(info, analysis)
+    return analysis
+
+
+def _name_rng_creations(info: FunctionInfo,
+                        analysis: FunctionAnalysis) -> None:
+    if not analysis.rng_created:
+        return
+    assigned: Dict[int, str] = {}
+    for stmt in ast.walk(info.node):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            for sub in ast.walk(stmt.value):
+                assigned[id(sub)] = stmt.targets[0].id
+    analysis.rng_created = [
+        (node, assigned.get(id(node), name))
+        for node, name in analysis.rng_created]

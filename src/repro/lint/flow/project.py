@@ -1,0 +1,255 @@
+"""Project model: module index, symbol table and call graph.
+
+The model is built from the already-parsed :class:`FileContext` objects
+of one lint run, so whole-program rules see exactly the files the user
+asked to lint.  Resolution is purely syntactic — ``repro.*`` imports
+(absolute or relative) are mapped onto the modules present in the run;
+anything else stays an external dotted name (``numpy.fft.rfftn``) that
+the summary layer matches against its builtin specification table.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["FunctionInfo", "ModuleInfo", "ProjectModel", "build_project"]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method of the project."""
+
+    qualname: str            #: ``repro.pme.operator.PMEOperator.apply``
+    name: str                #: bare name (``apply``)
+    module: "ModuleInfo"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: Optional[str] = None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+    @property
+    def params(self) -> List[str]:
+        a = self.node.args
+        names = [p.arg for p in (*a.posonlyargs, *a.args)]
+        if self.is_method and names and names[0] in ("self", "cls"):
+            names = names[1:]
+        return names + [p.arg for p in a.kwonlyargs]
+
+    def decorator_calls(self) -> Iterator[Tuple[str, ast.expr]]:
+        """``(root_name, decorator_node)`` for every decorator."""
+        for dec in self.node.decorator_list:
+            target = dec.func if isinstance(dec, ast.Call) else dec
+            name = _last_attr(target)
+            if name:
+                yield name, dec
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file of the run."""
+
+    path: str                        #: display path (as linted)
+    modname: str                     #: dotted module name (best effort)
+    tree: ast.Module
+    #: local alias -> fully qualified dotted target
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+    @property
+    def package_parts(self) -> Tuple[str, ...]:
+        return tuple(self.modname.split("."))
+
+
+def _last_attr(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """Render an ``a.b.c`` attribute chain; ``None`` otherwise."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def module_name_for(path: str) -> str:
+    """Best-effort dotted module name from a file path.
+
+    Files under a ``src`` (or site-packages-like) layout get their real
+    package path (``src/repro/pme/mesh.py`` -> ``repro.pme.mesh``);
+    anything else falls back to the path components without suffix.
+    """
+    parts = path.replace("\\", "/").split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("src", "lib"):
+        if anchor in parts:
+            parts = parts[parts.index(anchor) + 1:]
+            break
+    parts = [p for p in parts if p not in ("", ".", "..")]
+    return ".".join(parts) or (parts[-1] if parts else "<module>")
+
+
+def _collect_imports(module: ModuleInfo) -> None:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                module.imports[alias.asname or alias.name.split(".")[0]] = \
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                if alias.asname:
+                    module.imports[alias.asname] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = node.module or ""
+            if node.level:  # relative import: resolve against modname
+                anchor = module.package_parts
+                up = node.level
+                anchor = anchor[:-up] if up <= len(anchor) else ()
+                base = ".".join((*anchor, base)) if base else ".".join(anchor)
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                module.imports[alias.asname or alias.name] = target
+
+
+def _collect_functions(module: ModuleInfo) -> None:
+    def visit(body: List[ast.stmt], prefix: str,
+              class_name: Optional[str]) -> None:
+        for node in body:
+            if isinstance(node, _FUNC_NODES):
+                qual = f"{prefix}.{node.name}"
+                info = FunctionInfo(qualname=qual, name=node.name,
+                                    module=module, node=node,
+                                    class_name=class_name)
+                module.functions[qual] = info
+            elif isinstance(node, ast.ClassDef):
+                visit(node.body, f"{prefix}.{node.name}", node.name)
+
+    visit(module.tree.body, module.modname, None)
+
+
+class ProjectModel:
+    """Everything the whole-program rules may inspect about one run."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}          # by path
+        self.by_modname: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}      # by qualname
+        #: bare method name -> qualnames (for duck-typed resolution)
+        self.methods: Dict[str, List[str]] = {}
+        #: caller qualname -> sorted unique callee qualnames
+        self.call_graph: Dict[str, List[str]] = {}
+        #: function qualname -> analysis result (filled by summaries)
+        self.analyses: Dict[str, object] = {}
+        self.summaries: Dict[str, object] = {}
+        #: function qualname -> span name that marks it hot
+        self.hot: Dict[str, str] = {}
+
+    # -- resolution ----------------------------------------------------
+
+    def resolve_call(self, module: ModuleInfo,
+                     func: ast.expr) -> Optional[str]:
+        """Resolve a callee expression to a project qualname or dotted
+        external name.  Returns ``None`` for unresolvable targets."""
+        if isinstance(func, ast.Name):
+            target = module.imports.get(func.id, func.id)
+            return self._resolve_dotted(module, target)
+        dotted = dotted_name(func)
+        if dotted is not None:
+            root, _, rest = dotted.partition(".")
+            base = module.imports.get(root)
+            if base is not None:
+                # imported module / symbol: resolve through the alias
+                dotted = f"{base}.{rest}" if rest else base
+                return self._resolve_dotted(module, dotted)
+            resolved = self._resolve_dotted(module, dotted)
+            if resolved in self.functions:
+                return resolved
+            # the root is a local object (self.pme.apply, op.matvec...):
+            # fall back to duck-typed method resolution
+            if isinstance(func, ast.Attribute):
+                return self.resolve_method(func.attr)
+            return resolved
+        # method call on a computed receiver: f(x).method(...)
+        if isinstance(func, ast.Attribute):
+            return self.resolve_method(func.attr)
+        return None
+
+    def _resolve_dotted(self, module: ModuleInfo,
+                        dotted: str) -> Optional[str]:
+        if dotted in self.functions:
+            return dotted
+        local = f"{module.modname}.{dotted}"
+        if local in self.functions:
+            return local
+        # from repro.pme import operator; operator.PMEOperator -> class
+        head, _, tail = dotted.rpartition(".")
+        if head and head in self.by_modname:
+            qual = f"{head}.{tail}"
+            if qual in self.functions:
+                return qual
+            # constructor call: Class(...) -> Class.__init__
+            init = f"{qual}.__init__"
+            if init in self.functions:
+                return init
+        init = f"{dotted}.__init__"
+        if init in self.functions:
+            return init
+        return dotted  # external (numpy.fft.rfftn, scipy...)
+
+    def resolve_method(self, name: str) -> Optional[str]:
+        """Duck-typed ``obj.method`` resolution by unique method name."""
+        candidates = self.methods.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return f"@method.{name}" if candidates else None
+
+    # -- queries -------------------------------------------------------
+
+    def function(self, qualname: str) -> Optional[FunctionInfo]:
+        return self.functions.get(qualname)
+
+    def iter_functions(self) -> Iterator[FunctionInfo]:
+        yield from self.functions.values()
+
+
+def build_project(contexts: List[Tuple[str, ast.Module]]) -> ProjectModel:
+    """Build the model from ``(display_path, parsed tree)`` pairs."""
+    project = ProjectModel()
+    for path, tree in contexts:
+        module = ModuleInfo(path=path, modname=module_name_for(path),
+                            tree=tree)
+        _collect_imports(module)
+        _collect_functions(module)
+        project.modules[path] = module
+        project.by_modname[module.modname] = module
+        for qual, info in module.functions.items():
+            project.functions[qual] = info
+            if info.is_method:
+                project.methods.setdefault(info.name, []).append(qual)
+    # call graph (edges only to project functions)
+    for info in project.iter_functions():
+        callees: set = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                target = project.resolve_call(info.module, node.func)
+                if target in project.functions:
+                    callees.add(target)
+        project.call_graph[info.qualname] = sorted(callees)
+    return project

@@ -1,0 +1,316 @@
+"""Whole-program dataflow rules: RPR1xx, RPR2xx and RPR3xx families.
+
+All families run on the shared analysis of one
+:class:`~repro.lint.flow.project.ProjectModel` (built once per lint
+run) and fire only on *definite* facts — an unknown shape, dtype or
+contiguity never produces a finding.
+
+* **RPR1xx — shape/dtype flow**: the contiguous float64
+  ``(3n,)``/``(3n, s)`` pipeline the paper's performance model assumes
+  (Sections III-IV) must hold across call boundaries.
+* **RPR2xx — determinism flow**: bit-identical replay (PR 2's rollback
+  guarantee) requires every stochastic callee to consume the caller's
+  seeded Generator and no numeric result to depend on hash order.
+* **RPR3xx — hot-path allocations**: per-iteration allocations in the
+  span-instrumented PME/Krylov/sparse phases show up directly in the
+  Fig. 5 phase profile; workspaces belong outside the loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+from ..findings import Finding
+from ..registry import ProjectRule, RuleMeta, register
+from .domain import NARROW_DTYPES, match_patterns, shape_str
+from .hotpaths import derive_hot_registry
+from .interp import FunctionAnalysis
+from .project import FunctionInfo, ProjectModel
+from .summaries import (analyze_project, arg_spec_pairs,
+                        specs_for_call)
+
+__all__ = ["ensure_analyzed"]
+
+
+def ensure_analyzed(project: ProjectModel) -> None:
+    """Run the (shared, idempotent) whole-program analysis."""
+    if getattr(project, "_flow_analyzed", False):
+        return
+    analyze_project(project)
+    derive_hot_registry(project)
+    project._flow_analyzed = True  # type: ignore[attr-defined]
+
+
+def _callee_label(callee: str | None) -> str:
+    if callee is None:
+        return "<unresolved>"
+    if callee.startswith("@method."):
+        return f".{callee[len('@method.'):]}()"
+    return callee.rsplit(".", 1)[-1] + "()" if "." in callee else callee
+
+
+def _iter_analyses(project: ProjectModel
+                   ) -> Iterator[Tuple[FunctionInfo, FunctionAnalysis]]:
+    for qual in sorted(project.analyses):
+        analysis = project.analyses[qual]
+        if isinstance(analysis, FunctionAnalysis):
+            info = project.function(qual)
+            if info is not None:
+                yield info, analysis
+
+
+@register
+class ShapeFlowRule(ProjectRule):
+    """RPR101: call argument definitely incompatible with the callee's
+    declared symbolic shape."""
+
+    meta = RuleMeta(
+        id="RPR101", name="shape-incompatible-call",
+        summary="argument shape is provably incompatible with the "
+                "callee's declared (3n,)/(3n, s)/(n, 3) contract",
+        rationale="The mobility pipeline reinterprets nothing: an "
+                  "(n, 3) block handed to a (3n,) entry point (or an n "
+                  "where a 3n is required) silently computes wrong "
+                  "physics long before any runtime check fires "
+                  "(paper Sections II, IV.A).")
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        ensure_analyzed(project)
+        for info, analysis in _iter_analyses(project):
+            path = info.module.path
+            for obs in analysis.calls:
+                if obs.star_args:
+                    continue
+                specs = specs_for_call(obs.callee, project)
+                if not specs:
+                    continue
+                bindings: dict = {}
+                for key, value, spec in arg_spec_pairs(obs.pos_args, obs.kw_args, specs):
+                    if spec.shape is None or value.kind != "array" \
+                            or value.shape is None:
+                        continue
+                    if not match_patterns(spec.shape, value.shape,
+                                          bindings):
+                        yield self.finding_at(
+                            path, obs.node,
+                            f"argument {key!r} of "
+                            f"{_callee_label(obs.callee)} has shape "
+                            f"{shape_str(value.shape)}, incompatible "
+                            f"with the declared {spec.shape.what}",
+                            hint="reshape/transpose the array to the "
+                                 "documented layout before the call")
+
+
+@register
+class DtypeFlowRule(ProjectRule):
+    """RPR102: reduced-precision value flowing into the float64
+    pipeline (possibly across several calls)."""
+
+    meta = RuleMeta(
+        id="RPR102", name="dtype-pipeline-drift",
+        summary="float32/complex64 value reaches a documented-float64 "
+                "pipeline entry point (apply/apply_block/FFT/BCSR)",
+        rationale="The Ewald error bounds and Lanczos convergence "
+                  "criteria are calibrated in double precision "
+                  "(Sections III-IV); one narrow array upstream of "
+                  "apply_block silently destroys the e_p/e_k targets. "
+                  "Interprocedural summaries catch drift RPR005 cannot "
+                  "see (allocation and sink in different functions).")
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        ensure_analyzed(project)
+        for info, analysis in _iter_analyses(project):
+            path = info.module.path
+            for obs in analysis.calls:
+                specs = specs_for_call(obs.callee, project)
+                if not specs:
+                    continue
+                for key, value, spec in arg_spec_pairs(obs.pos_args, obs.kw_args, specs):
+                    if not spec.require_wide:
+                        continue
+                    if value.kind == "array" \
+                            and value.dtype in NARROW_DTYPES:
+                        origin = f" (created by {value.provenance})" \
+                            if value.provenance else ""
+                        yield self.finding_at(
+                            path, obs.node,
+                            f"{value.dtype} value{origin} reaches the "
+                            f"float64 pipeline via argument {key!r} of "
+                            f"{_callee_label(obs.callee)}",
+                            hint="keep the mobility pipeline in float64 "
+                                 "end to end; cast at the boundary only "
+                                 "with an explicit noqa justification")
+
+
+@register
+class ContiguityFlowRule(ProjectRule):
+    """RPR103: non-contiguous array reaching an FFT/BCSR/C-kernel
+    entry point."""
+
+    meta = RuleMeta(
+        id="RPR103", name="noncontiguous-kernel-input",
+        summary="non-contiguous array (transpose/strided slice/order-F) "
+                "reaches an FFT, BCSR or C-kernel entry point",
+        rationale="The batched pipeline's claimed throughput assumes "
+                  "unit-stride streams (Section IV.C); a transposed or "
+                  "strided operand forces a hidden normalization copy "
+                  "per application — correctness survives, the "
+                  "performance model does not.")
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        ensure_analyzed(project)
+        for info, analysis in _iter_analyses(project):
+            path = info.module.path
+            for obs in analysis.calls:
+                specs = specs_for_call(obs.callee, project)
+                if not specs:
+                    continue
+                for key, value, spec in arg_spec_pairs(obs.pos_args, obs.kw_args, specs):
+                    if not spec.require_contiguous:
+                        continue
+                    if value.kind == "array" and value.contiguous is False:
+                        via = f" ({value.provenance})" \
+                            if value.provenance else ""
+                        yield self.finding_at(
+                            path, obs.node,
+                            f"non-contiguous array{via} passed as "
+                            f"argument {key!r} of "
+                            f"{_callee_label(obs.callee)}",
+                            hint="make the operand C-contiguous once, "
+                                 "outside the apply loop "
+                                 "(np.ascontiguousarray)")
+
+
+@register
+class UnthreadedRngRule(ProjectRule):
+    """RPR201: a Generator is created but a stochastic callee is
+    invoked without it."""
+
+    meta = RuleMeta(
+        id="RPR201", name="unthreaded-rng",
+        summary="numpy Generator created but not passed to a stochastic "
+                "callee that accepts one",
+        rationale="Replay and block rollback are bit-identical only if "
+                  "every stochastic draw comes from the one seeded "
+                  "Generator (Section II.C, PR 2's zero-fault "
+                  "guarantee); a callee that silently seeds its own "
+                  "default_rng() decouples the streams.")
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        ensure_analyzed(project)
+        for info, analysis in _iter_analyses(project):
+            if not analysis.rng_created:
+                continue
+            path = info.module.path
+            first_creation = min(node.lineno for node, _ in
+                                 analysis.rng_created
+                                 if hasattr(node, "lineno"))
+            rng_names = ", ".join(sorted({name for _, name in
+                                          analysis.rng_created}))
+            for obs in analysis.calls:
+                summary = project.summaries.get(obs.callee or "")
+                if summary is None or not getattr(summary, "stochastic",
+                                                  False):
+                    continue
+                if getattr(summary, "rng_param", None) is None:
+                    continue
+                if obs.passes_rng or obs.star_args:
+                    continue
+                if getattr(obs.node, "lineno", 0) < first_creation:
+                    continue
+                yield self.finding_at(
+                    path, obs.node,
+                    f"Generator {rng_names!r} is not threaded to "
+                    f"stochastic callee {_callee_label(obs.callee)} "
+                    f"(accepts {getattr(summary, 'rng_param', '?')!r})",
+                    hint="pass the caller's Generator so all draws come "
+                         "from one seeded stream")
+
+
+@register
+class UnorderedIterationRule(ProjectRule):
+    """RPR202: numeric accumulation over a hash-ordered container."""
+
+    meta = RuleMeta(
+        id="RPR202", name="unordered-accumulation",
+        summary="iteration over a set (or a set-derived dict) feeds "
+                "numeric accumulation",
+        rationale="Set iteration order depends on PYTHONHASHSEED; "
+                  "float addition is not associative, so accumulating "
+                  "over a set breaks bit-identical replay across runs. "
+                  "(Insertion-ordered dicts are deterministic and "
+                  "exempt unless their order derives from a set.)")
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        ensure_analyzed(project)
+        for info, analysis in _iter_analyses(project):
+            path = info.module.path
+            for loop in analysis.set_loops:
+                if not loop.accumulates:
+                    continue
+                yield self.finding_at(
+                    path, loop.node,
+                    f"numeric accumulation iterates an unordered "
+                    f"container ({loop.source})",
+                    hint="iterate sorted(...) so the floating-point "
+                         "reduction order is reproducible")
+
+
+@register
+class HotLoopAllocationRule(ProjectRule):
+    """RPR301: array allocation inside a loop of a hot function."""
+
+    meta = RuleMeta(
+        id="RPR301", name="hot-loop-allocation",
+        summary="array allocated inside a loop of a span-instrumented "
+                "hot function (pme/krylov/sparse)",
+        rationale="The measured phases of Fig. 5 are memory-bandwidth "
+                  "bound; a per-iteration np.zeros/np.empty turns the "
+                  "paper's streaming model into an allocator benchmark. "
+                  "Hoist workspaces out of the loop (the MobilityCache "
+                  "exists for exactly this).")
+
+    _KIND = "alloc"
+
+    def check_project(self, project: ProjectModel) -> Iterator[Finding]:
+        ensure_analyzed(project)
+        for info, analysis in _iter_analyses(project):
+            span = project.hot.get(info.qualname)
+            if span is None:
+                continue
+            path = info.module.path
+            for alloc in analysis.allocs:
+                if alloc.kind != self._KIND or alloc.loop_depth == 0:
+                    continue
+                yield self.finding_at(
+                    path, alloc.node,
+                    f"{alloc.label} inside a loop of hot path "
+                    f"{info.name!r} (span {span})",
+                    hint=self._hint())
+
+    @staticmethod
+    def _hint() -> str:
+        return ("preallocate the workspace before the loop, or reuse "
+                "the operator/cache scratch arrays")
+
+
+@register
+class HotLoopCopyRule(HotLoopAllocationRule):
+    """RPR302: implicit array copy inside a loop of a hot function."""
+
+    meta = RuleMeta(
+        id="RPR302", name="hot-loop-copy",
+        summary="implicit copy (ascontiguousarray/astype/.copy/"
+                "concatenate) inside a loop of a hot function",
+        rationale="An implicit per-iteration copy doubles the memory "
+                  "traffic of a bandwidth-bound phase without showing "
+                  "up in the operation count — the exact drift the "
+                  "Section IV.D performance model cannot predict. "
+                  "Normalize operands once at the entry point instead.")
+
+    _KIND = "copy"
+
+    @staticmethod
+    def _hint() -> str:
+        return ("normalize layout/dtype once before the loop; inside "
+                "it, write into preallocated output via np.copyto/out=")

@@ -1,0 +1,373 @@
+"""Per-function summaries and their interprocedural propagation.
+
+A :class:`FunctionSummary` condenses what the abstract interpreter
+learned about one function into the facts that survive a call boundary:
+
+* ``params`` — the requirements each parameter imposes on its argument
+  (expected symbolic shape, float64 pipeline dtype, C-contiguity, the
+  performance sinks — FFT / BCSR / C kernel — the value flows into,
+  whether the parameter is an RNG),
+* ``returns`` — the abstract value of the result,
+* ``stochastic`` / ``rng_param`` — whether the function consumes
+  randomness and through which parameter.
+
+Requirements originate at three kinds of *specification anchors* and
+are then propagated caller-ward to a fixpoint along identity argument
+edges (an argument that is a parameter passed unchanged):
+
+1. contract decorators (``@positions_arg``, ``@force_block_arg``, ...)
+   declare the documented shapes of the public entry points,
+2. a builtin table describes the external sinks (``numpy.fft.*``),
+3. a protocol table describes the duck-typed operator methods
+   (``apply``, ``apply_block``, ``matvec``, ``matmat``) whose receiver
+   the AST cannot type.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import (Dict, Iterator, Mapping, Optional,
+                    Sequence, Tuple)
+
+from .domain import (
+    AbstractValue,
+    ParamSpec,
+    ShapeSpec,
+    UNKNOWN,
+    array_value,
+    rng_value,
+)
+from .interp import FunctionAnalysis, interpret_function
+from .project import FunctionInfo, ModuleInfo, ProjectModel
+
+__all__ = ["FunctionSummary", "analyze_project", "specs_for_call",
+           "CONTRACT_SPECS", "PROTOCOL_SPECS", "EXTERNAL_SPECS"]
+
+#: Maximum caller-ward propagation rounds (call-graph cycles converge
+#: much earlier; this is a safety bound, not a tuning knob).
+_MAX_ROUNDS = 25
+
+_FORCE_PATTERNS = (((3, "N"),), ((3, "N"), (1, "S")))
+
+#: contract decorator name -> (default parameter name, ParamSpec)
+CONTRACT_SPECS: Dict[str, ParamSpec] = {
+    "positions_arg": ParamSpec(
+        name="positions",
+        shape=ShapeSpec((((1, "N"), (3, None)),), what="(n, 3) positions"),
+        require_wide=True),
+    "force_block_arg": ParamSpec(
+        name="forces",
+        shape=ShapeSpec(_FORCE_PATTERNS, what="(3n,) / (3n, s) forces"),
+        require_wide=True, sinks=frozenset({"pipeline"})),
+    "radii_arg": ParamSpec(
+        name="radii",
+        shape=ShapeSpec((((1, "N"),),), what="(n,) radii")),
+    "trajectory_arg": ParamSpec(
+        name="positions",
+        shape=ShapeSpec((((1, "T"), (1, "N"), (3, None)),),
+                        what="(T, n, 3) trajectory"),
+        require_wide=True),
+    "spd_arg": ParamSpec(
+        name="mobility",
+        shape=ShapeSpec((((1, "D"), (1, "D")),), what="(d, d) SPD matrix"),
+        require_wide=True),
+}
+
+#: duck-typed operator-protocol methods -> spec of the first argument.
+PROTOCOL_SPECS: Dict[str, ParamSpec] = {
+    "apply": ParamSpec(
+        name="forces",
+        shape=ShapeSpec(_FORCE_PATTERNS, what="(3n,) / (3n, s) forces"),
+        require_wide=True, sinks=frozenset({"pipeline"})),
+    "apply_block": ParamSpec(
+        name="forces",
+        shape=ShapeSpec((((3, "N"), (1, "S")),), what="(3n, s) block"),
+        require_wide=True, require_contiguous=True,
+        sinks=frozenset({"pipeline"})),
+    "matvec": ParamSpec(
+        name="x",
+        shape=ShapeSpec(_FORCE_PATTERNS, what="(3n,) / (3n, s) operand"),
+        require_wide=True, require_contiguous=True,
+        sinks=frozenset({"bcsr"})),
+    "matmat": ParamSpec(
+        name="x",
+        shape=ShapeSpec((((3, "N"), (1, "S")),), what="(3n, s) block"),
+        require_wide=True, require_contiguous=True,
+        sinks=frozenset({"bcsr"})),
+}
+
+_FFT_SPEC = ParamSpec(name="a", require_wide=True, require_contiguous=True,
+                      sinks=frozenset({"fft"}))
+
+#: fully-resolved external callables -> positional-index ParamSpecs.
+EXTERNAL_SPECS: Dict[str, Dict[int, ParamSpec]] = {}
+for _mod in ("numpy.fft", "scipy.fft"):
+    for _fn in ("fft", "fft2", "fftn", "rfft", "rfft2", "rfftn",
+                "ifft", "ifft2", "ifftn", "irfft", "irfft2", "irfftn",
+                "hfft", "ihfft"):
+        EXTERNAL_SPECS[f"{_mod}.{_fn}"] = {0: _FFT_SPEC}
+
+#: parameter names treated as Generators when nothing else is known.
+_RNG_PARAM_NAMES = frozenset({"rng", "generator", "bit_generator"})
+
+
+@dataclass
+class FunctionSummary:
+    """Call-boundary-crossing facts about one function."""
+
+    returns: AbstractValue = UNKNOWN
+    params: Dict[str, ParamSpec] = field(default_factory=dict)
+    stochastic: bool = False
+    rng_param: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        from .domain import shape_str
+        out: dict = {"stochastic": self.stochastic}
+        if self.rng_param:
+            out["rng_param"] = self.rng_param
+        if self.returns.kind != "unknown":
+            out["returns"] = {
+                "kind": self.returns.kind,
+                "shape": shape_str(self.returns.shape),
+                "dtype": self.returns.dtype,
+                "contiguous": self.returns.contiguous,
+            }
+        params = {}
+        for name, spec in sorted(self.params.items()):
+            entry: dict = {}
+            if spec.shape is not None:
+                entry["shape"] = spec.shape.what
+            if spec.require_wide:
+                entry["require_float64"] = True
+            if spec.require_contiguous:
+                entry["require_contiguous"] = True
+            if spec.sinks:
+                entry["sinks"] = sorted(spec.sinks)
+            if spec.is_rng:
+                entry["rng"] = True
+            if entry:
+                params[name] = entry
+        if params:
+            out["params"] = params
+        return out
+
+
+def contract_param_specs(info: FunctionInfo) -> Dict[str, ParamSpec]:
+    """Seed specs for the contract decorators on one function."""
+    specs: Dict[str, ParamSpec] = {}
+    for dec_name, dec in info.decorator_calls():
+        base = CONTRACT_SPECS.get(dec_name)
+        if base is None:
+            continue
+        param = base.name
+        if isinstance(dec, ast.Call) and dec.args:
+            arg0 = dec.args[0]
+            if isinstance(arg0, ast.Constant) and isinstance(arg0.value,
+                                                             str):
+                param = arg0.value
+        spec = ParamSpec(name=param, shape=base.shape,
+                         require_wide=base.require_wide,
+                         require_contiguous=base.require_contiguous,
+                         sinks=base.sinks, is_rng=base.is_rng)
+        prev = specs.get(param)
+        specs[param] = spec if prev is None else prev.merged(spec)
+    # protocol methods carry their spec on the first parameter even
+    # without a decorator (duck-typed implementations must conform)
+    proto = PROTOCOL_SPECS.get(info.name)
+    if proto is not None and info.params:
+        param = info.params[0]
+        spec = ParamSpec(name=param, shape=proto.shape,
+                         require_wide=proto.require_wide,
+                         require_contiguous=proto.require_contiguous,
+                         sinks=proto.sinks)
+        prev = specs.get(param)
+        specs[param] = spec if prev is None else prev.merged(spec)
+    for param in info.params:
+        if param in _RNG_PARAM_NAMES:
+            prev = specs.get(param)
+            spec = ParamSpec(name=param, is_rng=True)
+            specs[param] = spec if prev is None else prev.merged(spec)
+    return specs
+
+
+def initial_env(info: FunctionInfo,
+                specs: Dict[str, ParamSpec]) -> Dict[str, AbstractValue]:
+    """Abstract values of the parameters at function entry."""
+    env: Dict[str, AbstractValue] = {}
+    for param in info.params:
+        spec = specs.get(param)
+        if spec is None:
+            env[param] = AbstractValue(origin=param)
+            continue
+        if spec.is_rng:
+            env[param] = rng_value(provenance=f"param {param}").but(
+                origin=param)
+            continue
+        shape = None
+        if spec.shape is not None and len(spec.shape.patterns) == 1:
+            # instantiate the single pattern with lower-case local vars
+            shape = tuple(
+                (coeff, var.lower() if var is not None else None)
+                for coeff, var in spec.shape.patterns[0])
+        value = array_value(
+            shape=shape,
+            dtype="float64" if spec.require_wide else None,
+            contiguous=True if spec.require_contiguous else None,
+            provenance=f"contract on {param}")
+        env[param] = value.but(origin=param)
+    return env
+
+
+def specs_for_call(callee: Optional[str], project: ProjectModel
+                   ) -> Optional[Dict[object, ParamSpec]]:
+    """Parameter specs of a resolved callee.
+
+    Returns a mapping whose keys are positional indices (0-based, after
+    ``self``) *and* parameter names, so both argument styles can be
+    matched; ``None`` when nothing is known about the callee.
+    """
+    if callee is None:
+        return None
+    out: Dict[object, ParamSpec] = {}
+    if callee.startswith("@method."):
+        proto = PROTOCOL_SPECS.get(callee[len("@method."):])
+        if proto is None:
+            return None
+        out[0] = proto
+        out[proto.name] = proto
+        return out
+    info = project.function(callee)
+    if info is not None:
+        summary = project.summaries.get(callee)
+        params = info.params
+        if isinstance(summary, FunctionSummary):
+            for index, name in enumerate(params):
+                spec = summary.params.get(name)
+                if spec is not None:
+                    out[index] = spec
+                    out[name] = spec
+            if summary.rng_param is not None \
+                    and summary.rng_param in params:
+                rng_spec = out.get(summary.rng_param,
+                                   ParamSpec(name=summary.rng_param))
+                rng_spec = rng_spec.merged(
+                    ParamSpec(name=summary.rng_param, is_rng=True))
+                out[summary.rng_param] = rng_spec
+                out[params.index(summary.rng_param)] = rng_spec
+        return out or None
+    external = EXTERNAL_SPECS.get(callee)
+    if external is not None:
+        for index, spec in external.items():
+            out[index] = spec
+            out[spec.name] = spec
+        return out
+    return None
+
+
+def arg_spec_pairs(
+        obs_args: Sequence[AbstractValue],
+        obs_kwargs: Mapping[str, AbstractValue],
+        specs: Mapping[object, ParamSpec],
+) -> Iterator[Tuple[object, AbstractValue, ParamSpec]]:
+    """Yield ``(key, value, spec)`` for every argument with a spec."""
+    for index, value in enumerate(obs_args):
+        spec = specs.get(index)
+        if spec is not None:
+            yield index, value, spec
+    for name, value in obs_kwargs.items():
+        spec = specs.get(name)
+        if spec is not None:
+            yield name, value, spec
+
+
+def analyze_project(project: ProjectModel, passes: int = 2) -> None:
+    """Run the whole-program analysis, filling ``project.analyses`` and
+    ``project.summaries``.
+
+    Each pass re-interprets every function with the previous pass's
+    summaries (so returned facts flow through call chains), then
+    propagates parameter requirements caller-ward to a fixpoint along
+    identity-argument edges.
+    """
+    summaries: Dict[str, FunctionSummary] = {}
+    for info in project.iter_functions():
+        summaries[info.qualname] = FunctionSummary(
+            params=contract_param_specs(info))
+    project.summaries = summaries  # type: ignore[assignment]
+
+    def returns_of(callee: str) -> Optional[AbstractValue]:
+        summary = summaries.get(callee)
+        return summary.returns if summary is not None else None
+
+    for _ in range(max(1, passes)):
+        for info in project.iter_functions():
+            def resolver(func: ast.expr,
+                         _module: ModuleInfo = info.module) -> Optional[str]:
+                return project.resolve_call(_module, func)
+
+            env = initial_env(info, summaries[info.qualname].params)
+            analysis = interpret_function(info, resolver, returns_of, env)
+            project.analyses[info.qualname] = analysis
+        _propagate(project, summaries)
+        for qual, analysis in project.analyses.items():
+            if isinstance(analysis, FunctionAnalysis):
+                summaries[qual].returns = analysis.returns
+
+
+def _propagate(project: ProjectModel,
+               summaries: Dict[str, FunctionSummary]) -> None:
+    """Caller-ward requirement / stochasticity fixpoint."""
+    for _ in range(_MAX_ROUNDS):
+        changed = False
+        for qual, analysis in project.analyses.items():
+            if not isinstance(analysis, FunctionAnalysis):
+                continue
+            summary = summaries[qual]
+            for obs in analysis.calls:
+                callee_summary = summaries.get(obs.callee or "")
+                if callee_summary is not None and callee_summary.stochastic \
+                        and not summary.stochastic:
+                    summary.stochastic = True
+                    changed = True
+                specs = specs_for_call(obs.callee, project)
+                if specs is None:
+                    continue
+                for _key, value, spec in arg_spec_pairs(
+                        obs.pos_args, obs.kw_args, specs):
+                    param = value.origin
+                    if param is None:
+                        continue
+                    prev = summary.params.get(param)
+                    merged = spec if prev is None else prev.merged(
+                        ParamSpec(name=param, shape=spec.shape,
+                                  require_wide=spec.require_wide,
+                                  require_contiguous=spec.require_contiguous,
+                                  sinks=spec.sinks, is_rng=spec.is_rng))
+                    if merged != prev:
+                        summary.params[param] = ParamSpec(
+                            name=param, shape=merged.shape,
+                            require_wide=merged.require_wide,
+                            require_contiguous=merged.require_contiguous,
+                            sinks=merged.sinks, is_rng=merged.is_rng)
+                        changed = True
+            if analysis.draws_randomness and not summary.stochastic:
+                summary.stochastic = True
+                changed = True
+            rng_param = _rng_param(qual, analysis, summary)
+            if rng_param is not None and summary.rng_param is None:
+                summary.rng_param = rng_param
+                summary.stochastic = True
+                changed = True
+        if not changed:
+            return
+
+
+def _rng_param(qual: str, analysis: FunctionAnalysis,
+               summary: FunctionSummary) -> Optional[str]:
+    if analysis.rng_draw_params:
+        return sorted(analysis.rng_draw_params)[0]
+    for name, spec in summary.params.items():
+        if spec.is_rng:
+            return name
+    return None

@@ -10,6 +10,8 @@ disables exactly one.
 
 from __future__ import annotations
 
+import ast
+
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Type
 
@@ -18,9 +20,13 @@ from .findings import Finding
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .engine import FileContext
+    from .flow.project import ProjectModel
 
-__all__ = ["RuleMeta", "Rule", "register", "all_rules", "get_rule",
-           "resolve_selection"]
+__all__ = ["RuleMeta", "Rule", "ProjectRule", "register", "all_rules",
+           "get_rule", "resolve_selection", "SYNTAX_ERROR_ID"]
+
+#: Pseudo-rule id of unparseable files (emitted by the engine itself).
+SYNTAX_ERROR_ID = "RPR000"
 
 
 @dataclass(frozen=True)
@@ -56,16 +62,43 @@ class Rule:
     """
 
     meta: RuleMeta
+    #: ``"file"`` rules see one parsed file; ``"project"`` rules
+    #: (:class:`ProjectRule`) see the whole-program model.
+    scope: str = "file"
 
     def check(self, ctx: "FileContext") -> Iterator[Finding]:
         raise NotImplementedError
 
-    def finding(self, ctx: "FileContext", node, message: str,
+    def finding(self, ctx: "FileContext", node: ast.AST,
+                message: str,
                 hint: str = "") -> Finding:
         """Build a :class:`Finding` for an AST node of ``ctx``."""
         return Finding(path=ctx.display_path, line=node.lineno,
                        col=node.col_offset, rule=self.meta.id,
                        message=message, hint=hint)
+
+
+class ProjectRule(Rule):
+    """Base class of whole-program (dataflow) rules.
+
+    Subclasses implement :meth:`check_project` over the
+    :class:`~repro.lint.flow.project.ProjectModel` of one lint run;
+    findings still carry per-file locations and honour ``noqa``.
+    """
+
+    scope = "project"
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        return iter(())  # project rules never run per-file
+
+    def check_project(self, project: "ProjectModel") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(self, path: str, node: ast.AST, message: str,
+                   hint: str = "") -> Finding:
+        return Finding(path=path, line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       rule=self.meta.id, message=message, hint=hint)
 
 
 _REGISTRY: dict[str, Type[Rule]] = {}
@@ -102,8 +135,13 @@ def resolve_selection(select: Iterable[str] | None,
     ``RPR004`` all work).  A prefix matching nothing raises
     :class:`~repro.errors.ConfigurationError` — a misspelled selection
     should fail loudly, not silently lint nothing.
+
+    The pseudo-rule ``RPR000`` (syntax error) participates in the
+    resolution like a real rule: it is on by default, an explicit
+    ``--select`` must cover it for unparseable files to be reported,
+    and ``--ignore RPR000`` silences it.
     """
-    known = sorted(_REGISTRY)
+    known = sorted([*_REGISTRY, SYNTAX_ERROR_ID])
 
     def expand(prefixes: Iterable[str], what: str) -> set[str]:
         out: set[str] = set()

@@ -10,10 +10,13 @@ so the linter can run on broken or dependency-missing files.
 from __future__ import annotations
 
 import ast
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from .findings import Finding
 from .registry import Rule, RuleMeta, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import FileContext
 
 __all__ = ["CONTRACT_DECORATORS", "VALIDATION_CALLS"]
 
@@ -100,7 +103,7 @@ class UnvalidatedPositionsRule(Rule):
                   "(paper Section II); an unvalidated entry point turns a "
                   "transposed array into silently wrong physics.")
 
-    def check(self, ctx) -> Iterator[Finding]:
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
         for func in ast.walk(ctx.tree):
             if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -157,7 +160,7 @@ class GlobalRngRule(Rule):
                   "cross-thread determinism.  Use "
                   "np.random.default_rng(seed).")
 
-    def check(self, ctx) -> Iterator[Finding]:
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -188,7 +191,7 @@ class UnguardedCholeskyRule(Rule):
                   "LinAlgError crashes instead of the package's "
                   "NotPositiveDefiniteError diagnostics.")
 
-    def check(self, ctx) -> Iterator[Finding]:
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
         guarded: set[int] = set()
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Try):
@@ -240,7 +243,7 @@ class MissingMinimumImageRule(Rule):
                   "norm(r[i] - r[j]) without Box.distances/minimum_image "
                   "is wrong for pairs straddling the boundary.")
 
-    def check(self, ctx) -> Iterator[Finding]:
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
         if not self._module_is_periodic(ctx.tree):
             return
         for node in ast.walk(ctx.tree):
@@ -294,7 +297,7 @@ class DtypeDriftRule(Rule):
                   "single-precision arrays destroy the tuned e_p/e_k "
                   "accuracy targets.")
 
-    def check(self, ctx) -> Iterator[Finding]:
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
@@ -330,7 +333,7 @@ class SwallowedExceptionRule(Rule):
                   "that swallows them hides the dominant failure mode of "
                   "the stochastic sampler (Section III.B).")
 
-    def check(self, ctx) -> Iterator[Finding]:
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ExceptHandler):
                 continue
@@ -367,7 +370,7 @@ class MutableDefaultRule(Rule):
 
     _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
 
-    def check(self, ctx) -> Iterator[Finding]:
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
         for func in ast.walk(ctx.tree):
             if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
@@ -402,7 +405,7 @@ class AssertValidationRule(Rule):
                   "disabling the very SPD/shape checks that keep long "
                   "simulations honest; raise ConfigurationError instead.")
 
-    def check(self, ctx) -> Iterator[Finding]:
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if isinstance(node, ast.Assert):
                 yield self.finding(
@@ -444,7 +447,7 @@ class DirectWallClockRule(Rule):
             return True
         return filename == "timing.py" and "utils" in parts
 
-    def check(self, ctx) -> Iterator[Finding]:
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
         if self._exempt(ctx.display_path):
             return
         for node in ast.walk(ctx.tree):

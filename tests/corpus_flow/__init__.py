@@ -1,0 +1,7 @@
+"""Seeded true-positive corpus for the whole-program dataflow rules.
+
+Every file here is *linted*, never imported, by tests/test_lint_flow.py.
+Each deliberate defect is labelled ``# seeded: RPRnnn`` on the line the
+rule is expected to flag; the tests assert exactly those findings fire
+(and nothing else), pinning both detection and false-positive behavior.
+"""

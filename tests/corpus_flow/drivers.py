@@ -1,0 +1,78 @@
+"""Seeded defects: shape/dtype flow (RPR1xx) and determinism (RPR2xx).
+
+Each ``# seeded: RPRnnn`` marks the line the rule must flag.
+"""
+
+import numpy as np
+
+from .ops import (
+    MobilityStub,
+    brownian_displacement,
+    correlated_noise,
+    jitter,
+)
+
+
+def step_blocked(n, dt):
+    positions = np.zeros((n, 3))
+    return brownian_displacement(positions, dt)  # seeded: RPR101
+
+
+def step_halved(n):
+    op = MobilityStub()
+    forces = np.zeros(n)
+    return op.apply(forces)  # seeded: RPR101
+
+
+def _workspace(n):
+    # narrow allocation far from the sink; only the interprocedural
+    # summary connects it to apply_block below
+    return np.zeros((3 * n, 4), dtype=np.float32)  # seeded: RPR005
+
+
+def batched_drift(n):
+    op = MobilityStub()
+    block = _workspace(n)
+    return op.apply_block(block)  # seeded: RPR102
+
+
+def single_drift(n, forces32):
+    forces = np.asarray(forces32, dtype=np.float32)  # seeded: RPR005
+    return brownian_displacement(forces)  # seeded: RPR102
+
+
+def transposed_drift(n):
+    op = MobilityStub()
+    block = np.zeros((3 * n, 8))
+    return op.apply_block(block.T)  # seeded: RPR101, RPR103
+
+
+def strided_spectrum(signal):
+    grid = np.asarray(signal, dtype=np.float64)
+    return np.fft.rfft(grid[::2])  # seeded: RPR103
+
+
+def noisy_step(n, seed):
+    rng = np.random.default_rng(seed)
+    drift = rng.standard_normal(3 * n)
+    noise = correlated_noise(n)  # seeded: RPR201
+    return drift + noise
+
+
+def jittered_start(positions, seed):
+    rng = np.random.default_rng(seed)
+    scale = float(rng.uniform(0.0, 1.0))
+    return jitter(positions, scale)  # seeded: RPR201
+
+
+def interaction_energy(pair_ids, energies):
+    unique = set(pair_ids)
+    total = 0.0
+    for pair in unique:  # seeded: RPR202
+        total += energies[pair]
+    return total
+
+
+def total_charge(charges):
+    distinct = set(charges)
+    return sum(distinct)  # seeded: RPR202

@@ -1,0 +1,35 @@
+"""Clean consumers: the contracts the drivers violate."""
+
+import numpy as np
+
+from repro.lint.contracts import force_block_arg, positions_arg
+
+
+@positions_arg(name="positions")
+def potential(positions):
+    return float(np.sum(positions * positions))
+
+
+@force_block_arg(name="forces")
+def brownian_displacement(forces, dt=1.0):
+    return dt * forces
+
+
+class MobilityStub:
+    """Duck-typed mobility operator (apply/apply_block protocol)."""
+
+    def apply(self, forces):
+        return 2.0 * forces
+
+    def apply_block(self, block):
+        return 2.0 * block
+
+
+def correlated_noise(n, rng):
+    """Stochastic helper that *accepts* the caller's Generator."""
+    return rng.standard_normal(3 * n)
+
+
+def jitter(positions, scale, rng=None):
+    gen = rng if rng is not None else np.random.default_rng()
+    return positions + scale * gen.standard_normal(positions.shape)

@@ -1,0 +1,42 @@
+"""Seeded hot-path defects (RPR3xx): the ``pme`` package name plus the
+``obs.span`` call put these functions in the derived hot registry."""
+
+import numpy as np
+
+
+def spread_charges(obs, positions, charges, mesh_shape):
+    """Span-opening hot phase with per-iteration allocations."""
+    with obs.span("pme.spread"):
+        acc = np.zeros(mesh_shape)
+        for q, pos in zip(charges, positions):
+            stencil = np.zeros((4, 4, 4))  # seeded: RPR301
+            stencil += q
+            acc[:4, :4, :4] += stencil
+        return acc
+
+
+def interpolate_forces(obs, mesh, sites):
+    with obs.span("pme.interpolate"):
+        out = np.empty(len(sites))
+        for k, site in enumerate(sites):
+            local = np.empty((4, 4, 4))  # seeded: RPR301
+            local[:] = mesh[:4, :4, :4]
+            patch = np.ascontiguousarray(local.T)  # seeded: RPR302
+            out[k] = float(patch.sum()) * float(site)
+        return out
+
+
+def fold_mesh(obs, mesh):
+    """Helper called only from hot phases: hot by transitive closure."""
+    total = np.zeros_like(mesh)
+    for shift in (0, 1, 2):
+        total += np.roll(mesh, shift, axis=0)
+        scratch = mesh.copy()  # seeded: RPR302
+        total += scratch
+    return total
+
+
+def accumulate_phases(obs, positions, charges, mesh_shape):
+    with obs.span("pme.fold"):
+        mesh = spread_charges(obs, positions, charges, mesh_shape)
+        return fold_mesh(obs, mesh)

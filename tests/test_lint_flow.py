@@ -1,0 +1,462 @@
+"""Tests of the whole-program dataflow layer: RPR1xx/2xx/3xx rules,
+the seeded corpus, baselines, graph export, github output and the
+multi-line noqa semantics."""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+from pathlib import Path
+from textwrap import dedent
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.lint import (
+    Baseline,
+    apply_baseline,
+    lint_paths,
+    lint_source,
+    resolve_selection,
+)
+from repro.lint.baseline import fingerprint
+from repro.lint.cli import format_github, main as lint_main
+from repro.lint.findings import Finding
+from repro.lint.flow.domain import (
+    AbstractValue,
+    dims_definitely_differ,
+    join_values,
+)
+from repro.lint.flow.graphexport import (
+    build_analyzed_project,
+    export_graph,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+SRC_DIR = REPO / "src"
+CORPUS = REPO / "tests" / "corpus_flow"
+
+_SEEDED_RE = re.compile(r"#\s*seeded:\s*([A-Z0-9, ]+)")
+
+
+def seeded_expectations(prefixes: tuple[str, ...]) -> set[tuple]:
+    """``(path, line, rule)`` triples declared by ``# seeded:`` comments."""
+    expected = set()
+    for path in sorted(CORPUS.rglob("*.py")):
+        rel = str(path)
+        for lineno, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            match = _SEEDED_RE.search(line)
+            if not match:
+                continue
+            for rule in match.group(1).split(","):
+                rule = rule.strip()
+                if rule.startswith(prefixes):
+                    expected.add((rel, lineno, rule))
+    return expected
+
+
+def flow_rule_ids(source: str) -> list[str]:
+    """Dataflow rule ids reported for an in-memory snippet."""
+    findings = lint_source(dedent(source), "<snippet>")
+    return [f.rule for f in findings if f.rule >= "RPR100"]
+
+
+# ----------------------------------------------------------------------
+# the seeded corpus is the contract: exactly those findings, no more
+# ----------------------------------------------------------------------
+
+def corpus_findings(select: list[str]) -> set[tuple]:
+    findings, _ = lint_paths([CORPUS], select=select)
+    return {(f.path, f.line, f.rule) for f in findings}
+
+
+def test_corpus_flow_findings_match_seeds_exactly():
+    expected = seeded_expectations(("RPR1", "RPR2", "RPR3"))
+    got = corpus_findings(["RPR1", "RPR2", "RPR3"])
+    assert got == expected
+    # >= 2 true positives per family
+    for family in ("RPR1", "RPR2", "RPR3"):
+        assert sum(1 for _, _, rule in expected
+                   if rule.startswith(family)) >= 2
+
+
+def test_corpus_file_rules_still_fire():
+    expected = seeded_expectations(("RPR005",))
+    assert corpus_findings(["RPR005"]) == expected
+    assert len(expected) >= 1
+
+
+def test_corpus_findings_are_deterministic():
+    first, _ = lint_paths([CORPUS])
+    second, _ = lint_paths([CORPUS])
+    assert first == second
+
+
+# ----------------------------------------------------------------------
+# interprocedural behavior on snippets
+# ----------------------------------------------------------------------
+
+def test_rpr101_cross_function_shape_mismatch():
+    assert "RPR101" in flow_rule_ids("""
+        import numpy as np
+
+        class Op:
+            def apply(self, forces):
+                return forces
+
+        def drive(n):
+            return Op().apply(np.zeros((n, 3)))
+    """)
+
+
+def test_rpr101_silent_on_compatible_shapes():
+    assert flow_rule_ids("""
+        import numpy as np
+
+        class Op:
+            def apply_block(self, block):
+                return block
+
+        def drive(n, s):
+            return Op().apply_block(np.zeros((3 * n, s)))
+    """) == []
+
+
+def test_rpr102_dtype_drift_through_helper_return():
+    ids = flow_rule_ids("""
+        import numpy as np
+
+        class Op:
+            def apply_block(self, block):
+                return block
+
+        def _workspace(n):
+            return np.zeros((3 * n, 2), dtype=np.float32)
+
+        def drive(n):
+            return Op().apply_block(_workspace(n))
+    """)
+    assert "RPR102" in ids
+
+
+def test_rpr103_requires_definite_noncontiguity():
+    assert flow_rule_ids("""
+        import numpy as np
+
+        def spectrum(grid):
+            return np.fft.rfftn(grid)
+    """) == []
+
+
+def test_rpr201_not_raised_when_rng_threaded():
+    assert flow_rule_ids("""
+        import numpy as np
+
+        def noise(n, rng):
+            return rng.standard_normal(n)
+
+        def drive(n, seed):
+            rng = np.random.default_rng(seed)
+            return noise(n, rng)
+    """) == []
+
+
+def test_rpr201_accepts_conditional_rng_coercion():
+    # `seed if isinstance(...) else default_rng(seed)` must count as
+    # threading the Generator (rng ⊔ unknown = rng in the join)
+    assert flow_rule_ids("""
+        import numpy as np
+
+        def noise(n, rng):
+            return rng.standard_normal(n)
+
+        def drive(n, seed):
+            rng = (seed if isinstance(seed, np.random.Generator)
+                   else np.random.default_rng(seed))
+            return noise(n, rng)
+    """) == []
+
+
+def test_rpr202_exempts_plain_dict_iteration():
+    assert flow_rule_ids("""
+        def total(table):
+            acc = 0.0
+            for key in {"a": 1.0, "b": 2.0}:
+                acc += 1.0
+            return acc
+    """) == []
+
+
+def test_rpr202_flags_set_derived_dict():
+    assert "RPR202" in flow_rule_ids("""
+        def total(items):
+            index = dict.fromkeys(set(items))
+            acc = 0.0
+            for key in index:
+                acc += 1.0
+            return acc
+    """)
+
+
+def test_rpr301_ignores_entry_allocations_and_cold_functions():
+    # allocation outside a loop, and any allocation in a module outside
+    # pme/krylov/sparse, must stay silent
+    assert flow_rule_ids("""
+        import numpy as np
+
+        def phase(obs, xs):
+            with obs.span("pme.spread"):
+                acc = np.zeros(3)
+                for x in xs:
+                    acc += x
+                return acc
+    """) == []
+
+
+def test_join_preserves_rng_over_unknown():
+    rng = AbstractValue(kind="rng")
+    unknown = AbstractValue(kind="unknown")
+    assert join_values(rng, unknown).kind == "rng"
+    assert join_values(unknown, rng).kind == "rng"
+
+
+def test_dims_definitely_differ_heuristic():
+    assert dims_definitely_differ((1, "n"), (3, "n"))
+    assert not dims_definitely_differ((1, "n"), (1, "m"))
+    assert not dims_definitely_differ(None, (3, "n"))
+    assert dims_definitely_differ((4, None), (5, None))
+
+
+# ----------------------------------------------------------------------
+# multi-line noqa (any physical line of the statement suppresses)
+# ----------------------------------------------------------------------
+
+_WRAPPED = """
+    import numpy as np
+
+    class Op:
+        def apply_block(self, block):
+            return block
+
+    def drive(n):
+        data = np.zeros((n, 7))
+        return Op().apply_block(
+            data,
+        ){noqa}
+"""
+
+
+def test_noqa_on_closing_paren_line_suppresses():
+    clean = dedent(_WRAPPED.format(noqa="  # noqa: RPR101"))
+    assert [f.rule for f in lint_source(clean, "<s>")
+            if f.rule == "RPR101"] == []
+
+
+def test_noqa_for_other_rule_does_not_suppress():
+    other = dedent(_WRAPPED.format(noqa="  # noqa: RPR103"))
+    assert "RPR101" in [f.rule for f in lint_source(other, "<s>")]
+
+
+def test_blanket_noqa_mid_statement_suppresses():
+    source = dedent("""
+        import numpy as np
+
+        class Op:
+            def apply_block(self, block):
+                return block
+
+        def drive(n):
+            return Op().apply_block(
+                np.zeros((n, 7)),  # noqa
+            )
+    """)
+    assert [f.rule for f in lint_source(source, "<s>")] == []
+
+
+def test_noqa_in_function_body_does_not_cover_def_line():
+    # compound statements contribute only their header extent
+    source = dedent("""
+        def displace(positions, dt):
+            scale = 1.0  # noqa
+            return positions * dt * scale
+    """)
+    assert "RPR001" in [f.rule for f in lint_source(source, "<s>")]
+
+
+# ----------------------------------------------------------------------
+# selection / RPR000 edge cases
+# ----------------------------------------------------------------------
+
+def test_selection_overlapping_select_and_ignore():
+    assert resolve_selection(["RPR1"], ["RPR102"]) == {"RPR101", "RPR103"}
+    assert resolve_selection(["RPR10"], ["RPR10"]) == set()
+
+
+def test_selection_unknown_prefix_message_names_it():
+    with pytest.raises(ConfigurationError, match=r"RPR9.*matches no"):
+        resolve_selection(["RPR9"], None)
+    with pytest.raises(ConfigurationError, match="--ignore"):
+        resolve_selection(None, ["ZZZ"])
+
+
+def test_rpr000_participates_in_selection(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    findings, checked = lint_paths([bad])
+    assert checked == 1
+    assert [f.rule for f in findings] == ["RPR000"]
+
+    only, _ = lint_paths([bad], select=["RPR000"])
+    assert [f.rule for f in only] == ["RPR000"]
+
+    none, _ = lint_paths([bad], ignore=["RPR000"])
+    assert none == []
+
+
+def test_rpr000_excluded_by_narrow_select(tmp_path):
+    bad = tmp_path / "broken.py"
+    bad.write_text("def broken(:\n")
+    findings, _ = lint_paths([bad], select=["RPR001"])
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# baseline workflow
+# ----------------------------------------------------------------------
+
+def _finding(path="a.py", line=3, rule="RPR101", message="m"):
+    return Finding(path=path, line=line, col=0, rule=rule, message=message)
+
+
+def test_baseline_roundtrip_and_check(tmp_path):
+    baseline_file = tmp_path / "lint-baseline.json"
+    known = [_finding(line=3), _finding(line=9)]  # same fingerprint x2
+    Baseline.from_findings(known).write(baseline_file)
+
+    loaded = Baseline.load(baseline_file)
+    assert loaded.entries == {fingerprint(known[0]): 2}
+
+    new, suppressed, stale = apply_baseline(
+        known + [_finding(line=30, rule="RPR202")], loaded)
+    assert suppressed == 2
+    assert [f.rule for f in new] == ["RPR202"]
+    assert stale == []
+
+
+def test_baseline_excess_occurrences_surface(tmp_path):
+    baseline = Baseline.from_findings([_finding(line=3)])
+    new, suppressed, _ = apply_baseline(
+        [_finding(line=3), _finding(line=7)], baseline)
+    assert suppressed == 1
+    assert len(new) == 1
+
+
+def test_baseline_stale_entries_reported():
+    baseline = Baseline.from_findings([_finding()])
+    new, suppressed, stale = apply_baseline([], baseline)
+    assert new == [] and suppressed == 0
+    assert stale == [fingerprint(_finding())]
+
+
+def test_baseline_missing_file_is_empty(tmp_path):
+    assert Baseline.load(tmp_path / "absent.json").entries == {}
+
+
+def test_baseline_rejects_foreign_json(tmp_path):
+    bad = tmp_path / "b.json"
+    bad.write_text('{"some": "other file"}')
+    with pytest.raises(ConfigurationError, match="entries"):
+        Baseline.load(bad)
+    bad.write_text('{"version": 99, "entries": {}}')
+    with pytest.raises(ConfigurationError, match="version"):
+        Baseline.load(bad)
+
+
+def test_cli_baseline_write_then_check(tmp_path, capsys):
+    target = tmp_path / "code.py"
+    target.write_text("import numpy as np\n"
+                      "x = np.zeros(3, dtype=np.float32)\n")
+    baseline_file = tmp_path / "bl.json"
+
+    assert lint_main([str(target), "--baseline", "write",
+                      "--baseline-file", str(baseline_file)]) == 0
+    assert lint_main([str(target), "--baseline", "check",
+                      "--baseline-file", str(baseline_file)]) == 0
+    out = capsys.readouterr().out
+    assert "baselined" in out
+
+    # a new finding is NOT covered
+    target.write_text(target.read_text() +
+                      "y = np.zeros(4, dtype=np.float32)\n")
+    assert lint_main([str(target), "--baseline", "check",
+                      "--baseline-file", str(baseline_file)]) == 1
+
+
+# ----------------------------------------------------------------------
+# github output format
+# ----------------------------------------------------------------------
+
+def test_format_github_shape_and_escaping():
+    finding = Finding(path="src/a.py", line=4, col=2, rule="RPR101",
+                      message="bad: a,b\nnext", hint="fix it")
+    line = format_github(finding)
+    assert line.startswith("::warning file=src/a.py,line=4,col=3,")
+    assert "title=RPR101 shape-incompatible-call" in line
+    assert "%0A" in line and "\n" not in line
+    assert line.endswith("::bad: a,b%0Anext (fix it)")
+
+
+def test_cli_github_format(tmp_path, capsys):
+    target = tmp_path / "code.py"
+    target.write_text("import numpy as np\n"
+                      "x = np.zeros(3, dtype=np.float32)\n")
+    assert lint_main([str(target), "--output-format", "github"]) == 1
+    out = capsys.readouterr().out
+    assert "::warning file=" in out and "RPR005" in out
+
+
+# ----------------------------------------------------------------------
+# graph export
+# ----------------------------------------------------------------------
+
+def test_graph_export_structure(tmp_path):
+    out = tmp_path / "graph.json"
+    payload = export_graph([CORPUS], out)
+    assert json.loads(out.read_text()) == payload
+
+    hot = payload["hot"]
+    assert any(q.endswith("gridder.spread_charges") for q in hot)
+    # transitive closure: fold_mesh never opens a span itself
+    assert any(q.endswith("gridder.fold_mesh") for q in hot)
+
+    summaries = payload["summaries"]
+    noise = next(v for k, v in summaries.items()
+                 if k.endswith("ops.correlated_noise"))
+    assert noise["stochastic"] is True
+    assert noise["rng_param"] == "rng"
+
+    graph = payload["call_graph"]
+    caller = next(k for k in graph if k.endswith("drivers.noisy_step"))
+    assert any(c.endswith("ops.correlated_noise") for c in graph[caller])
+
+
+def test_hot_registry_spans_cover_known_phases():
+    project = build_analyzed_project([SRC_DIR])
+    spans = set(project.hot.values())
+    assert any(s.startswith("pme.") for s in spans)
+    assert any(s.startswith("krylov.") for s in spans)
+
+
+# ----------------------------------------------------------------------
+# acceptance: src/ is clean and the analysis is fast
+# ----------------------------------------------------------------------
+
+def test_repo_src_clean_under_flow_rules_and_fast():
+    start = time.monotonic()
+    findings, checked = lint_paths([SRC_DIR])
+    elapsed = time.monotonic() - start
+    assert findings == []
+    assert checked > 90
+    assert elapsed < 10.0
