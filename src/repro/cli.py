@@ -1,9 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the common workflows:
+The subcommands cover the common workflows:
 
 * ``simulate`` — run a matrix-free (or Ewald) BD simulation of a
   monodisperse suspension and write the trajectory to ``.npz``,
+* ``ensemble`` — run a campaign of independent trajectories on a
+  supervised multi-process worker pool (crash/hang/slow recovery,
+  graceful SIGTERM drain, ``--resume``),
 * ``profile``  — short traced run printing the Fig. 5-style phase
   breakdown, measured vs the Section IV.D performance model,
 * ``analyze``  — diffusion analysis of a saved trajectory,
@@ -58,7 +61,49 @@ def build_parser() -> argparse.ArgumentParser:
                      help="deterministic fault-injection soak, e.g. "
                           "'seed=7,lanczos=0.01,nan-force=0.005,ckpt=kill@3'"
                           " (implies --recover)")
+    sim.add_argument("--max-wall-time", type=float, default=None,
+                     metavar="SECONDS",
+                     help="stop gracefully at the next step boundary once "
+                          "this wall-clock budget is spent (also installs "
+                          "SIGTERM/SIGINT handlers); with --checkpoint the "
+                          "run is resumable and exits 0")
     _add_obs_arguments(sim)
+
+    ens = sub.add_parser(
+        "ensemble",
+        help="run an ensemble campaign on a supervised worker pool")
+    ens.add_argument("-n", "--particles", type=int, default=100)
+    ens.add_argument("--phi", type=float, default=0.2)
+    ens.add_argument("--steps", type=int, default=1000,
+                     help="BD steps per ensemble member")
+    ens.add_argument("--tasks", type=int, default=8,
+                     help="number of ensemble members")
+    ens.add_argument("--dt", type=float, default=1e-3)
+    ens.add_argument("--lambda-rpy", type=int, default=16)
+    ens.add_argument("--e-k", type=float, default=1e-2)
+    ens.add_argument("--seed", type=int, default=0,
+                     help="campaign seed (per-task seeds are derived)")
+    ens.add_argument("--workers", type=int, default=2,
+                     help="worker-process pool size")
+    ens.add_argument("--checkpoint-dir", default="campaign", metavar="DIR",
+                     help="directory for per-task checkpoints and the "
+                          "campaign manifest (default: campaign/)")
+    ens.add_argument("--resume", action="store_true",
+                     help="continue the campaign recorded in "
+                          "DIR/campaign.json")
+    ens.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-task-attempt wall-clock budget; slower "
+                          "attempts are killed and retried")
+    ens.add_argument("--hang-timeout", type=float, default=30.0,
+                     metavar="SECONDS",
+                     help="heartbeat silence before a worker is declared "
+                          "hung (default 30)")
+    ens.add_argument("--inject-faults", default=None, metavar="SPEC",
+                     help="process-level fault plan, e.g. "
+                          "'seed=7,kill=2,hang=1,slow=1,corrupt=1,"
+                          "slow-per-step=0.2'")
+    _add_obs_arguments(ens)
 
     prof = sub.add_parser(
         "profile",
@@ -86,7 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint", help="physics-aware static analysis (file rules "
-                     "RPR001-RPR009, dataflow rules RPR101-RPR302)",
+                     "RPR001-RPR010, dataflow rules RPR101-RPR302)",
         add_help=False)
     lint.add_argument("lint_args", nargs=argparse.REMAINDER,
                       help="arguments forwarded to repro-lint "
@@ -124,9 +169,10 @@ def _write_obs_outputs(args, tracer, registry) -> None:
         print(f"metrics -> {path}")
 
 
-def _cmd_simulate(args) -> int:
+def _with_obs(args, runner) -> int:
+    """Run ``runner(args)`` under a fresh tracer/registry if requested."""
     if not _obs_wanted(args):
-        return _run_simulate(args)
+        return runner(args)
     from . import obs
 
     tracer = obs.Tracer()
@@ -134,12 +180,20 @@ def _cmd_simulate(args) -> int:
     previous_tracer = obs.set_tracer(tracer)
     previous_registry = obs.set_metrics(registry)
     try:
-        code = _run_simulate(args)
+        code = runner(args)
     finally:
         obs.set_tracer(previous_tracer)
         obs.set_metrics(previous_registry)
     _write_obs_outputs(args, tracer, registry)
     return code
+
+
+def _cmd_simulate(args) -> int:
+    return _with_obs(args, _run_simulate)
+
+
+def _cmd_ensemble(args) -> int:
+    return _with_obs(args, _run_ensemble)
 
 
 def _run_simulate(args) -> int:
@@ -186,11 +240,29 @@ def _run_simulate(args) -> int:
         run_kwargs["checkpoint_path"] = args.checkpoint
         run_kwargs["checkpoint_interval"] = args.checkpoint_interval
 
-    traj, stats = sim.run(**run_kwargs)
+    if args.max_wall_time is not None:
+        from .runtime.signals import GracefulShutdown
+        from .utils.timing import now
+
+        t0 = now()
+        with GracefulShutdown() as shutdown:
+            run_kwargs["stop"] = lambda: (
+                shutdown.triggered
+                or now() - t0 >= args.max_wall_time)
+            traj, stats = sim.run(**run_kwargs)
+        stop_reason = shutdown.signal_name or "wall-time limit"
+    else:
+        traj, stats = sim.run(**run_kwargs)
     save_trajectory(args.output, traj)
     print(f"ran {stats.n_steps} steps in {stats.timers.total:.1f} s "
           f"({stats.seconds_per_step * 1e3:.1f} ms/step); "
           f"{traj.n_frames} frames -> {args.output}")
+    if stats.stopped_early:
+        where = (args.checkpoint if args.checkpoint
+                 else "no checkpoint (pass --checkpoint to continue "
+                      "bit-exactly)")
+        print(f"resumable: stopped gracefully at step {stats.n_steps} "
+              f"of {args.steps} ({stop_reason}); checkpoint: {where}")
     if schedule is not None:
         print(f"injected faults: {len(schedule.injected)} "
               f"(force={schedule.count('force')}, "
@@ -201,6 +273,61 @@ def _run_simulate(args) -> int:
         print("recovery log:")
         for line in stats.recovery.summary().splitlines():
             print(f"  {line}")
+    return 0
+
+
+def _run_ensemble(args) -> int:
+    import os
+
+    from .runtime import (
+        CampaignManifest,
+        GracefulShutdown,
+        ProcessFaultPlan,
+        Supervisor,
+        TaskState,
+        make_ensemble,
+    )
+
+    os.makedirs(args.checkpoint_dir, exist_ok=True)
+    manifest_path = os.path.join(args.checkpoint_dir, "campaign.json")
+    if args.resume:
+        manifest = CampaignManifest.load(manifest_path)
+        tasks = manifest.tasks
+        counts = manifest.counts()
+        print(f"resuming campaign from {manifest_path}: "
+              + ", ".join(f"{v} {k}" for k, v in sorted(counts.items())))
+    else:
+        tasks = make_ensemble(args.tasks, n=args.particles, phi=args.phi,
+                              n_steps=args.steps, seed=args.seed,
+                              dt=args.dt, lambda_rpy=args.lambda_rpy,
+                              e_k=args.e_k)
+        print(f"campaign: {len(tasks)} tasks x {args.steps} steps, "
+              f"n={args.particles}, Phi={args.phi}, "
+              f"{args.workers} workers")
+    plan = (ProcessFaultPlan.from_spec(args.inject_faults)
+            if args.inject_faults else None)
+    supervisor = Supervisor(
+        tasks, args.checkpoint_dir, n_workers=args.workers,
+        deadline=args.deadline, hang_timeout=args.hang_timeout,
+        fault_plan=plan, manifest_path=manifest_path)
+    with GracefulShutdown() as shutdown:
+        report = supervisor.run(shutdown=shutdown)
+    print(report.summary())
+    if plan is not None:
+        for fault in plan.faults:
+            print(f"  fault {fault.kind} on task {fault.task_id} "
+                  f"@ step {fault.at_step}: "
+                  f"observed={fault.observed or 'NOT OBSERVED'}")
+    for record in report.manifest.tasks:
+        if record.state is TaskState.QUARANTINED:
+            failure = record.failure or {}
+            print(f"  quarantined task {record.spec.task_id}: "
+                  f"{failure.get('kind')}: {failure.get('message')}")
+    print(f"manifest -> {manifest_path}")
+    if report.drained:
+        print("resumable: campaign drained; continue with "
+              f"`repro ensemble --resume --checkpoint-dir "
+              f"{args.checkpoint_dir}`")
     return 0
 
 
@@ -297,6 +424,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "simulate": _cmd_simulate,
+        "ensemble": _cmd_ensemble,
         "profile": _cmd_profile,
         "analyze": _cmd_analyze,
         "tune": _cmd_tune,

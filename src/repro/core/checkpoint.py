@@ -37,7 +37,7 @@ from ..errors import CheckpointCorruptionError, ConfigurationError
 
 __all__ = ["save_checkpoint", "load_checkpoint",
            "load_checkpoint_with_fallback", "previous_checkpoint_path",
-           "resume", "checkpoint_callback"]
+           "resume", "checkpoint_callback", "fsync_directory"]
 
 _FORMAT_VERSION = 2
 
@@ -45,6 +45,31 @@ _FORMAT_VERSION = 2
 def previous_checkpoint_path(path: str | os.PathLike) -> str:
     """The rotation target for ``path`` (``<path>.prev``)."""
     return str(path) + ".prev"
+
+
+def fsync_directory(directory: str | os.PathLike) -> bool:
+    """Flush a directory's entry table to stable storage.
+
+    An atomic ``os.replace`` makes the *file contents* crash-safe, but
+    the rename itself lives in the directory inode — until that is
+    fsynced, a power loss can roll the directory back and the renamed
+    checkpoint silently vanishes.  Called after every rename
+    (:func:`save_checkpoint` and the ``.prev`` rotation in
+    :func:`checkpoint_callback`).  Best-effort: returns ``False`` on
+    filesystems that refuse ``open``/``fsync`` on directories (some
+    network mounts) instead of failing the run.
+    """
+    try:
+        dir_fd = os.open(os.fspath(directory), os.O_RDONLY)
+    except OSError:
+        return False
+    try:
+        os.fsync(dir_fd)
+        return True
+    except OSError:
+        return False
+    finally:
+        os.close(dir_fd)
 
 
 def _payload_checksum(wrapped: np.ndarray, unwrapped: np.ndarray,
@@ -113,14 +138,9 @@ def save_checkpoint(path: str | os.PathLike, wrapped: np.ndarray,
         except OSError:
             pass
         raise
-    try:  # best effort: persist the rename itself
-        dir_fd = os.open(directory, os.O_RDONLY)
-        try:
-            os.fsync(dir_fd)
-        finally:
-            os.close(dir_fd)
-    except OSError:
-        pass
+    # persist the rename itself: without the directory fsync the new
+    # checkpoint can vanish on power loss between rename and journal flush
+    fsync_directory(directory)
 
 
 def load_checkpoint(path: str | os.PathLike
@@ -237,16 +257,17 @@ def resume(path: str | os.PathLike, integrator, n_steps: int,
     else:
         wrapped, unwrapped_start, step0, rng = load_checkpoint(path)
     integrator.rng = rng
-    offset = unwrapped_start - wrapped
 
     shifted_callback = None
     if callback is not None:
         def shifted_callback(step, w, u):
-            callback(step0 + step, w, u + offset)
+            callback(step0 + step, w, u)
 
-    final, stats = integrator.run(wrapped, n_steps,
-                                  callback=shifted_callback)
-    return final + offset, stats
+    # continuing the stored unwrapped frame inside the integrator (not
+    # re-adding the image offset afterwards) keeps the continuation
+    # byte-for-byte identical to an uninterrupted run
+    return integrator.run(wrapped, n_steps, callback=shifted_callback,
+                          unwrapped0=unwrapped_start)
 
 
 def checkpoint_callback(path: str | os.PathLike, integrator,
@@ -290,6 +311,10 @@ def checkpoint_callback(path: str | os.PathLike, integrator,
         if step % interval == 0:
             if keep_previous and os.path.exists(path):
                 os.replace(path, previous_checkpoint_path(path))
+                # make the rotation durable too: otherwise a power loss
+                # after the (durable) new write could resurface a state
+                # where <path> vanished but .prev never appeared
+                fsync_directory(os.path.dirname(os.path.abspath(path)))
             _save(path, wrapped, unwrapped, step, integrator.rng)
 
     return callback

@@ -30,6 +30,7 @@ from ..geometry.box import Box
 from ..pme.cache import MobilityCache
 from ..pme.operator import PMEOperator, PMEParams
 from ..pme.tuning import tune_parameters
+from ..resilience.backoff import next_dt_scale
 from ..resilience.failures import FailureKind, StepFailure
 from ..resilience.policy import RecoveryLog, RecoveryPolicy
 from ..resilience.recovery import (
@@ -66,6 +67,10 @@ class BDStepStats:
         The :class:`~repro.resilience.policy.RecoveryLog` of every
         failure observed and recovery action taken during the run
         (empty when no recovery policy is active or nothing failed).
+    stopped_early:
+        ``True`` when the run ended at a step boundary because its
+        ``stop`` predicate fired (graceful shutdown / wall-time limit)
+        rather than completing the requested step count.
     """
 
     n_steps: int = 0
@@ -74,6 +79,7 @@ class BDStepStats:
     timers: PhaseTimer = field(
         default_factory=lambda: PhaseTimer(prefix="bd"))
     recovery: RecoveryLog = field(default_factory=RecoveryLog)
+    stopped_early: bool = False
 
     @property
     def seconds_per_step(self) -> float:
@@ -154,8 +160,8 @@ class BrownianDynamicsBase(ABC):
     # -- propagation ------------------------------------------------------
 
     def run(self, positions, n_steps: int, callback=None,
-            stats: BDStepStats | None = None
-            ) -> tuple[np.ndarray, BDStepStats]:
+            stats: BDStepStats | None = None, stop=None,
+            unwrapped0=None) -> tuple[np.ndarray, BDStepStats]:
         """Propagate ``n_steps`` BD steps from ``positions``.
 
         Parameters
@@ -169,6 +175,22 @@ class BrownianDynamicsBase(ABC):
             after every step (step counts from 1).
         stats:
             Optional pre-existing stats object to accumulate into.
+        stop:
+            Optional zero-argument predicate consulted after every
+            completed step (after ``callback``); returning true ends
+            the run gracefully at that step boundary with
+            ``stats.stopped_early`` set.  Used by the graceful-shutdown
+            path (``repro simulate --max-wall-time``, the ensemble
+            runtime's SIGTERM drain).
+        unwrapped0:
+            Optional initial *unwrapped* frame, for continuing a
+            checkpointed run.  The accumulator starts from these exact
+            values, so the continued unwrapped trajectory is
+            byte-for-byte the uninterrupted one — reconstructing the
+            image offset after the fact is not (adding the offset
+            before vs. after the displacement sum rounds differently
+            once a particle has crossed the box).  Defaults to the
+            wrapped input (a fresh run).
 
         Returns
         -------
@@ -180,7 +202,9 @@ class BrownianDynamicsBase(ABC):
         r = as_positions(positions)
         n = r.shape[0]
         wrapped = self.box.wrap(r)
-        unwrapped = wrapped.copy()
+        unwrapped = (wrapped.copy() if unwrapped0 is None
+                     else np.array(as_positions(unwrapped0),
+                                   dtype=np.float64))
         stats = stats or BDStepStats()
         policy = self.recovery
         rollbacks = 0
@@ -212,6 +236,11 @@ class BrownianDynamicsBase(ABC):
                         self._after_clean_step(stats, step)
                         if callback is not None:
                             callback(step, wrapped, unwrapped)
+                        if stop is not None and stop():
+                            # graceful stop: the completed step is kept,
+                            # the rest of the block (and run) is dropped
+                            stats.stopped_early = True
+                            return unwrapped, stats
             except StepFailure as failure:
                 if policy is None or rollbacks >= policy.max_rollbacks:
                     raise
@@ -273,9 +302,12 @@ class BrownianDynamicsBase(ABC):
                 stats.recovery.record(step + 1, failure.kind, "detect",
                                       attempt=attempt)
                 attempt += 1
-                next_scale = self._dt_scale * policy.dt_backoff_factor
-                if (attempt >= policy.max_step_attempts
-                        or next_scale < policy.min_dt_scale):
+                # the decay/floor decision lives in the shared backoff
+                # utility (repro.resilience.backoff), not inline here
+                next_scale = next_dt_scale(self._dt_scale,
+                                           policy.dt_backoff_factor,
+                                           policy.min_dt_scale)
+                if attempt >= policy.max_step_attempts or next_scale is None:
                     raise
                 self._dt_scale = next_scale
                 self._clean_steps = 0

@@ -17,7 +17,7 @@ from ..errors import ConfigurationError
 from ..resilience.policy import RecoveryPolicy
 from ..systems.suspension import Suspension
 from ..units import FluidParams
-from .checkpoint import checkpoint_callback
+from .checkpoint import checkpoint_callback, save_checkpoint
 from .forces import ForceField, RepulsiveHarmonic
 from .integrators import BDStepStats, BrownianDynamicsBase, EwaldBD, MatrixFreeBD
 
@@ -120,7 +120,8 @@ class Simulation:
             checkpoint_path: str | None = None,
             checkpoint_interval: int | None = None,
             extra_callback=None,
-            stats: BDStepStats | None = None
+            stats: BDStepStats | None = None,
+            stop=None
             ) -> tuple[Trajectory, BDStepStats]:
         """Propagate and record.
 
@@ -143,6 +144,13 @@ class Simulation:
         stats:
             Optional pre-existing stats object to accumulate into (so
             external callbacks can share the run's recovery log).
+        stop:
+            Optional zero-argument predicate; returning true ends the
+            run gracefully at the next step boundary
+            (``stats.stopped_early``).  When a ``checkpoint_path`` is
+            set, a final checkpoint at the stopped step is written
+            before returning, so the run is resumable from exactly
+            where it stopped.
 
         Returns
         -------
@@ -164,9 +172,13 @@ class Simulation:
             ckpt = checkpoint_callback(checkpoint_path, self.integrator,
                                        interval)
 
+        last_state: dict[str, np.ndarray] = {}
+
         def record(step, wrapped, unwrapped):
             if step % record_interval == 0:
                 frames[step] = unwrapped.copy()
+            last_state["wrapped"] = wrapped
+            last_state["unwrapped"] = unwrapped
             if ckpt is not None:
                 ckpt(step, wrapped, unwrapped)
             if extra_callback is not None:
@@ -176,7 +188,17 @@ class Simulation:
                       n=self._current.shape[0],
                       algorithm=self.algorithm):
             final, stats = self.integrator.run(self._current, n_steps,
-                                               callback=record, stats=stats)
+                                               callback=record, stats=stats,
+                                               stop=stop)
+        if (stats.stopped_early and checkpoint_path is not None
+                and "wrapped" in last_state
+                and stats.n_steps % (checkpoint_interval
+                                     or self.integrator.lambda_rpy) != 0):
+            # the interval callback missed the stopped step; write one
+            # final checkpoint so the interrupted run resumes from here
+            save_checkpoint(checkpoint_path, last_state["wrapped"],
+                            last_state["unwrapped"], stats.n_steps,
+                            self.integrator.rng)
         self._current = self.suspension.box.wrap(final)
         steps = sorted(frames)
         traj = Trajectory(np.array([s * dt for s in steps]),

@@ -3,11 +3,12 @@
 Two cooperating layers keep the package's array invariants honest:
 
 * **Static layer** — an AST linter (``python -m repro.lint``, ``repro
-  lint``, ``repro-lint``) with per-file rules RPR001-RPR009 targeting
+  lint``, ``repro-lint``) with per-file rules RPR001-RPR010 targeting
   the failure modes of fast Brownian dynamics codes (unvalidated
   position arrays, global RNG state, unguarded Cholesky
   factorizations, missing minimum-image folds, dtype drift, swallowed
-  solver diagnostics, mutable defaults, ``assert``-based validation)
+  solver diagnostics, mutable defaults, ``assert``-based validation,
+  failures dropped outside the resilience taxonomy)
   plus the whole-program dataflow families of :mod:`repro.lint.flow`:
   RPR1xx shape/dtype flow, RPR2xx determinism flow and RPR3xx hot-path
   allocation lints.

@@ -37,7 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description="Physics-aware static analysis for the repro package "
-                    "(file rules RPR001-RPR009, dataflow rules "
+                    "(file rules RPR001-RPR010, dataflow rules "
                     "RPR101-RPR302; see docs/static_analysis.md)")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")

@@ -1,4 +1,4 @@
-"""The built-in physics-aware lint rules (RPR001 .. RPR009).
+"""The built-in physics-aware lint rules (RPR001 .. RPR010).
 
 Each rule encodes an invariant the paper's algorithms depend on but the
 Python type system cannot express — see ``docs/static_analysis.md`` for
@@ -469,3 +469,66 @@ class DirectWallClockRule(Rule):
                     "timing utilities",
                     hint="use repro.utils.timing.Timer/PhaseTimer or an "
                          "obs.span so the interval is observable")
+
+
+@register
+class SwallowedStepFailureRule(Rule):
+    """RPR010: broad handler discarding failures outside the taxonomy."""
+
+    meta = RuleMeta(
+        id="RPR010", name="swallowed-step-failure",
+        summary="bare `except:` or `except Exception:` that neither "
+                "re-raises nor routes the failure through the resilience "
+                "taxonomy (StepFailure / classify_exception / a recovery "
+                "log)",
+        rationale="A StepFailure carries the failure kind, step, attempt "
+                  "and solver diagnostics the supervisor and recovery "
+                  "ladder act on; a broad handler that drops it silently "
+                  "turns a classified, retryable fault into a wrong "
+                  "answer.  Even a deliberate process/worker boundary "
+                  "(where `# noqa: RPR006` is acceptable) must still "
+                  "convert the exception with StepFailure.from_exception "
+                  "or record it on a RecoveryLog before moving on.")
+
+    #: Call names (last dotted components) that count as routing the
+    #: failure through the resilience taxonomy.
+    _TAXONOMY_CALLS = frozenset({
+        "StepFailure", "from_exception", "classify_exception", "record",
+    })
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._is_broad(node):
+                continue
+            if self._compliant(node):
+                continue
+            label = ("bare except:" if node.type is None
+                     else f"except {_last_attr(node.type)}:")
+            yield self.finding(
+                ctx, node,
+                f"{label} drops the failure without re-raising or routing "
+                "it through the resilience taxonomy",
+                hint="re-raise, wrap with StepFailure.from_exception(...), "
+                     "or record the failure on a RecoveryLog")
+
+    @staticmethod
+    def _is_broad(handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = (handler.type.elts if isinstance(handler.type, ast.Tuple)
+                 else [handler.type])
+        return any(_last_attr(t) in ("Exception", "BaseException")
+                   for t in types)
+
+    @classmethod
+    def _compliant(cls, handler: ast.ExceptHandler) -> bool:
+        for sub in ast.walk(handler):
+            if isinstance(sub, ast.Raise):
+                return True
+            if isinstance(sub, ast.Call):
+                name = _last_attr(sub.func)
+                if name in cls._TAXONOMY_CALLS:
+                    return True
+        return False

@@ -8,6 +8,9 @@ This subpackage provides
 
 * :mod:`~repro.resilience.failures` — the failure taxonomy
   (:class:`FailureKind`, :class:`StepFailure`),
+* :mod:`~repro.resilience.backoff` — shared retry backoff with
+  deterministic jitter, the dt-scale decay chokepoint and the
+  :class:`CircuitBreaker` used by the ensemble supervisor,
 * :mod:`~repro.resilience.policy` — :class:`RecoveryPolicy` knobs and
   the :class:`RecoveryLog` returned in run statistics,
 * :mod:`~repro.resilience.recovery` — the retry → Chebyshev → dense
@@ -19,6 +22,7 @@ This subpackage provides
 classes, which themselves use this package's policy types).
 """
 
+from .backoff import BackoffPolicy, CircuitBreaker, next_dt_scale
 from .failures import FailureKind, StepFailure, classify_exception
 from .policy import RecoveryEvent, RecoveryLog, RecoveryPolicy
 from .recovery import (
@@ -28,6 +32,9 @@ from .recovery import (
 )
 
 __all__ = [
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "next_dt_scale",
     "FailureKind",
     "StepFailure",
     "classify_exception",

@@ -1,0 +1,183 @@
+"""Process-level fault injection for the supervised ensemble runtime.
+
+PR 2's :mod:`repro.resilience.faults` injects *in-process* faults (NaN
+forces, Lanczos non-convergence, checkpoint corruption).  This module
+extends the same deterministic-schedule philosophy to the faults only
+a multi-process campaign sees:
+
+* ``kill``    — the worker dies with SIGKILL mid-task (node crash),
+* ``hang``    — the worker stops making progress *and* stops
+  heartbeating (deadlocked solver, stuck I/O),
+* ``slow``    — the worker keeps heartbeating but each step takes far
+  longer than budgeted (thermal throttling, a sick disk),
+* ``corrupt`` — the worker finishes but returns a corrupted result
+  payload (bad DIMM, truncated transfer).
+
+A :class:`ProcessFaultPlan` assigns at most one fault per task, on the
+task's *first* attempt only, from a seeded draw — so the same spec
+always faults the same tasks at the same steps, every retry sees a
+clean run, and the supervisor (which owns the plan) can reconcile
+every planned fault against the supervision event it observed
+(``kill`` → worker death, ``hang`` → heartbeat watchdog, ``slow`` →
+deadline, ``corrupt`` → payload-digest mismatch).  The soak test
+asserts this accounting is exhaustive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["ProcessFault", "ProcessFaultPlan", "FAULT_KINDS"]
+
+#: The four process-level fault kinds, and the supervision events each
+#: is expected to surface as.
+FAULT_KINDS = ("kill", "hang", "slow", "corrupt")
+
+#: Supervisor failure reasons that legitimately account for each kind.
+#: ``hang`` may surface as a deadline kill when the task deadline is
+#: shorter than the heartbeat watchdog, and vice versa for ``slow``.
+EXPECTED_OBSERVATIONS = {
+    "kill": ("worker-death",),
+    "hang": ("hang-timeout", "deadline"),
+    "slow": ("deadline", "hang-timeout"),
+    "corrupt": ("corrupt-result",),
+}
+
+
+@dataclass
+class ProcessFault:
+    """One planned process-level fault, and what became of it."""
+
+    task_id: int
+    kind: str
+    #: Step (within the task) at which kill/hang/slow engage.
+    at_step: int
+    #: Supervisor failure reason that accounted for this fault
+    #: (``None`` until observed).
+    observed: str | None = None
+
+    def accounted(self) -> bool:
+        """True once the supervisor matched this fault to an event."""
+        return self.observed in EXPECTED_OBSERVATIONS[self.kind]
+
+
+@dataclass
+class ProcessFaultPlan:
+    """Deterministic assignment of process faults to campaign tasks.
+
+    Parameters
+    ----------
+    seed:
+        Seed of the task/step assignment draw.
+    counts:
+        Faults to inject per kind, e.g. ``{"kill": 2, "hang": 1}``.
+        Each faulted task receives exactly one fault (on attempt 0);
+        the total must not exceed the task count at assignment time.
+    slow_per_step:
+        Seconds of injected per-step delay for ``slow`` faults (the
+        worker keeps heartbeating; the supervisor's deadline catches
+        the slowdown).
+    """
+
+    seed: int = 0
+    counts: dict[str, int] = field(default_factory=dict)
+    slow_per_step: float = 0.1
+    faults: list[ProcessFault] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for kind, count in self.counts.items():
+            if kind not in FAULT_KINDS:
+                raise ConfigurationError(
+                    f"unknown process fault kind {kind!r}; "
+                    f"use one of {', '.join(FAULT_KINDS)}")
+            if count < 0:
+                raise ConfigurationError(
+                    f"fault count must be >= 0, got {kind}={count}")
+
+    def assign(self, task_ids: list[int],
+               n_steps_of: dict[int, int]) -> list[ProcessFault]:
+        """Assign the planned faults to concrete tasks and steps.
+
+        Tasks are drawn without replacement from a seeded shuffle, so
+        the assignment is a pure function of ``(seed, counts,
+        task_ids)``.  Fault steps land in the middle half of each
+        task's step range (late enough that a checkpoint usually
+        exists, early enough that work remains to resume).
+        """
+        total = sum(self.counts.values())
+        if total > len(task_ids):
+            raise ConfigurationError(
+                f"cannot inject {total} process faults into "
+                f"{len(task_ids)} tasks (one fault per task)")
+        rng = np.random.default_rng(self.seed)
+        order = [task_ids[i] for i in rng.permutation(len(task_ids))]
+        self.faults = []
+        cursor = 0
+        for kind in FAULT_KINDS:  # fixed kind order keeps the draw stable
+            for _ in range(self.counts.get(kind, 0)):
+                task_id = order[cursor]
+                cursor += 1
+                steps = n_steps_of[task_id]
+                lo, hi = max(1, steps // 4), max(2, (3 * steps) // 4)
+                at_step = int(rng.integers(lo, hi))
+                self.faults.append(ProcessFault(task_id, kind, at_step))
+        return self.faults
+
+    def fault_for(self, task_id: int, attempt: int) -> ProcessFault | None:
+        """The fault to inject into this assignment (attempt 0 only)."""
+        if attempt != 0:
+            return None
+        for fault in self.faults:
+            if fault.task_id == task_id:
+                return fault
+        return None
+
+    def observe(self, task_id: int, reason: str) -> ProcessFault | None:
+        """Record that a supervision event accounted for a fault."""
+        for fault in self.faults:
+            if fault.task_id == task_id and fault.observed is None:
+                fault.observed = reason
+                return fault
+        return None
+
+    def unaccounted(self) -> list[ProcessFault]:
+        """Planned faults not (correctly) matched to an event yet."""
+        return [f for f in self.faults if not f.accounted()]
+
+    def to_spec(self) -> str:
+        """Inverse of :meth:`from_spec` (campaign-manifest provenance)."""
+        parts = [f"seed={self.seed}"]
+        parts += [f"{kind}={count}" for kind, count in self.counts.items()]
+        parts.append(f"slow-per-step={self.slow_per_step}")
+        return ",".join(parts)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> ProcessFaultPlan:
+        """Parse a CLI spec like ``"seed=7,kill=2,hang=1,slow=1,corrupt=1"``.
+
+        Keys: ``seed`` (int), one count per fault kind, and
+        ``slow-per-step`` (float seconds).
+        """
+        kwargs: dict = {"counts": {}}
+        for item in filter(None, (s.strip() for s in spec.split(","))):
+            try:
+                key, value = item.split("=", 1)
+            except ValueError:
+                raise ConfigurationError(
+                    f"malformed --inject-faults item {item!r}; "
+                    "expected key=value") from None
+            if key == "seed":
+                kwargs["seed"] = int(value)
+            elif key == "slow-per-step":
+                kwargs["slow_per_step"] = float(value)
+            elif key in FAULT_KINDS:
+                kwargs["counts"][key] = int(value)
+            else:
+                raise ConfigurationError(
+                    f"unknown --inject-faults key {key!r}; use seed, "
+                    f"slow-per-step or {', '.join(FAULT_KINDS)}")
+        return cls(**kwargs)

@@ -1,0 +1,216 @@
+"""Worker-process entry point of the ensemble runtime.
+
+Each worker owns one end of a duplex pipe to the supervisor and runs
+one :class:`~repro.runtime.tasks.TaskSpec` at a time:
+
+1. build the suspension and integrator *from the spec alone* (never
+   from worker-local state — the determinism contract),
+2. resume from the task's latest block-aligned checkpoint if one
+   exists (``.prev`` fallback; an unusable pair restarts from scratch),
+3. step, writing a rotating checkpoint and a ``checkpoint`` message
+   every ``lambda_RPY`` steps and pacing ``heartbeat`` messages in
+   between,
+4. report ``done`` with the final unwrapped positions *and* their
+   SHA-256 digest — the supervisor recomputes the digest on receipt,
+   so a corrupted payload is detected end-to-end.
+
+Process faults from the :class:`~repro.runtime.faults.ProcessFaultPlan`
+are executed here: ``kill`` SIGKILLs the worker mid-step, ``hang``
+stops both progress and heartbeats (the supervisor's watchdog must
+notice), ``slow`` injects per-step delay while heartbeats continue
+(the deadline must notice), and ``corrupt`` flips a byte of the result
+payload after the true digest was computed.
+
+A graceful drain (supervisor sets the shared stop event) ends the task
+at the next ``lambda_RPY`` block boundary — exactly where a checkpoint
+was just written — so a drained campaign resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from typing import Any
+
+import numpy as np
+
+from ..core.checkpoint import (
+    fsync_directory,
+    load_checkpoint_with_fallback,
+    previous_checkpoint_path,
+    save_checkpoint,
+)
+from ..core.forces import RepulsiveHarmonic
+from ..core.integrators import MatrixFreeBD
+from ..errors import CheckpointCorruptionError, ConfigurationError
+from ..resilience.failures import StepFailure
+from ..resilience.policy import RecoveryPolicy
+from ..systems.suspension import make_suspension
+from ..utils.timing import now
+from .tasks import TaskSpec, positions_digest
+
+__all__ = ["worker_main", "failure_report"]
+
+#: Seconds between heartbeat messages while a task is stepping.
+DEFAULT_HEARTBEAT_INTERVAL = 0.05
+
+
+def failure_report(failure: StepFailure, attempt: int) -> dict[str, Any]:
+    """Serialize a :class:`StepFailure` for the campaign manifest."""
+    return {"kind": failure.kind.value, "message": str(failure),
+            "step": failure.step, "attempt": attempt,
+            "diagnostics": {k: v for k, v in failure.diagnostics.items()
+                            if isinstance(v, (int, float, str, bool))}}
+
+
+def _corrupt_payload(positions: np.ndarray) -> np.ndarray:
+    """Flip one byte of the position payload (bad-DIMM simulation)."""
+    buf = bytearray(np.ascontiguousarray(positions).tobytes())
+    buf[0] ^= 0xFF
+    return np.frombuffer(bytes(buf),
+                         dtype=np.float64).reshape(positions.shape)
+
+
+def _build_integrator(spec: TaskSpec, safe_mode: bool):
+    suspension = make_suspension(spec.n, spec.phi, seed=spec.system_seed)
+    force_field = (RepulsiveHarmonic(suspension.box, suspension.fluid)
+                   if spec.forces else None)
+    recovery = RecoveryPolicy() if safe_mode else None
+    integrator = MatrixFreeBD(
+        box=suspension.box, fluid=suspension.fluid,
+        force_field=force_field, dt=spec.dt, lambda_rpy=spec.lambda_rpy,
+        seed=spec.seed, pme_params=spec.pme, e_k=spec.e_k,
+        recovery=recovery)
+    return suspension, integrator
+
+
+def _run_task(conn, stop_event, spec: TaskSpec, attempt: int,
+              fault: dict[str, Any] | None, safe_mode: bool,
+              checkpoint_dir: str, slow_per_step: float,
+              heartbeat_interval: float) -> None:
+    """Execute one task and report the outcome over ``conn``."""
+    suspension, integrator = _build_integrator(spec, safe_mode)
+    ckpt_path = spec.checkpoint_path(checkpoint_dir)
+
+    step0 = 0
+    start = suspension.positions
+    unwrapped0 = None  # continue this exact unwrapped frame on resume
+    try:
+        wrapped0, unwrapped0, step0, rng, _used = (
+            load_checkpoint_with_fallback(ckpt_path))
+        integrator.rng = rng
+        start = wrapped0
+    except FileNotFoundError:
+        pass
+    except (CheckpointCorruptionError, ConfigurationError):
+        # both rotation generations unusable: the only deterministic
+        # recovery is a fresh start (same spec -> same trajectory)
+        step0 = 0
+        unwrapped0 = None
+
+    fault_kind = fault["kind"] if fault is not None else None
+    fault_step = fault["at_step"] if fault is not None else -1
+
+    if step0 >= spec.n_steps:
+        # resumed past the end (e.g. retry after a corrupt-result
+        # fault): the checkpointed unwrapped state *is* the final
+        # state — reuse its exact bytes, no offset arithmetic
+        _send_done(conn, spec, step0, unwrapped0, fault_kind, safe_mode)
+        return
+
+    last_hb = [now()]
+    progress = {"gstep": step0}
+
+    def callback(step: int, wrapped: np.ndarray,
+                 unwrapped: np.ndarray) -> None:
+        gstep = step0 + step
+        progress["gstep"] = gstep
+        if fault_kind == "kill" and gstep == fault_step:
+            os.kill(os.getpid(), signal.SIGKILL)
+        if fault_kind == "hang" and gstep >= fault_step:
+            while True:  # no progress, no heartbeats: watchdog food
+                time.sleep(0.05)
+        if fault_kind == "slow" and gstep >= fault_step:
+            time.sleep(slow_per_step)
+        if gstep % spec.lambda_rpy == 0:
+            if os.path.exists(ckpt_path):
+                os.replace(ckpt_path, previous_checkpoint_path(ckpt_path))
+                fsync_directory(checkpoint_dir)
+            save_checkpoint(ckpt_path, wrapped, unwrapped,
+                            gstep, integrator.rng)
+            conn.send({"msg": "checkpoint", "task_id": spec.task_id,
+                       "completed_step": gstep, "checkpoint": ckpt_path})
+            last_hb[0] = now()
+        elif now() - last_hb[0] >= heartbeat_interval:
+            conn.send({"msg": "heartbeat", "task_id": spec.task_id,
+                       "step": gstep})
+            last_hb[0] = now()
+
+    def stop() -> bool:
+        # drain only at block boundaries: a checkpoint was just
+        # written there, so the resumed campaign stays bit-identical
+        return (stop_event.is_set()
+                and progress["gstep"] % spec.lambda_rpy == 0)
+
+    final, stats = integrator.run(start, spec.n_steps - step0,
+                                  callback=callback, stop=stop,
+                                  unwrapped0=unwrapped0)
+    gstep = step0 + stats.n_steps
+    final_total = final
+    if stats.stopped_early:
+        conn.send({"msg": "drained", "task_id": spec.task_id,
+                   "completed_step": gstep, "checkpoint": ckpt_path})
+        return
+    _send_done(conn, spec, gstep, final_total, fault_kind, safe_mode)
+
+
+def _send_done(conn, spec: TaskSpec, completed_step: int,
+               final_total: np.ndarray, fault_kind: str | None,
+               safe_mode: bool) -> None:
+    digest = positions_digest(final_total)
+    payload = final_total
+    if fault_kind == "corrupt":
+        payload = _corrupt_payload(final_total)
+    conn.send({"msg": "done", "task_id": spec.task_id,
+               "completed_step": completed_step, "digest": digest,
+               "positions": payload, "safe_mode": safe_mode})
+
+
+def worker_main(conn, stop_event, worker_id: int) -> None:
+    """Process target: serve task assignments until shutdown.
+
+    Must stay importable at module top level (spawn start method).
+    """
+    # the supervisor owns shutdown signals; workers must not race it
+    # by reacting to a terminal Ctrl-C delivered to the process group
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    conn.send({"msg": "ready", "worker_id": worker_id})
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            return  # supervisor died; nothing left to report to
+        if message.get("cmd") == "shutdown":
+            return
+        spec = TaskSpec.from_json(message["spec"])
+        try:
+            _run_task(conn, stop_event, spec,
+                      attempt=message["attempt"],
+                      fault=message.get("fault"),
+                      safe_mode=message.get("safe_mode", False),
+                      checkpoint_dir=message["checkpoint_dir"],
+                      slow_per_step=message.get("slow_per_step", 0.0),
+                      heartbeat_interval=message.get(
+                          "heartbeat_interval", DEFAULT_HEARTBEAT_INTERVAL))
+        except Exception as exc:  # noqa: RPR006 - worker boundary: the
+            # failure is not swallowed, it crosses the process boundary
+            # as a structured StepFailure report for the supervisor
+            failure = StepFailure.from_exception(
+                exc, attempt=message["attempt"])
+            try:
+                conn.send({"msg": "failed", "task_id": spec.task_id,
+                           "failure": failure_report(
+                               failure, message["attempt"])})
+            except (OSError, BrokenPipeError):
+                return

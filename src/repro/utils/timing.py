@@ -20,7 +20,18 @@ from dataclasses import dataclass, field
 
 from ..obs import trace as _trace
 
-__all__ = ["Timer", "PhaseTimer"]
+__all__ = ["Timer", "PhaseTimer", "now"]
+
+
+def now() -> float:
+    """Monotonic clock read for schedulers (heartbeats, deadlines).
+
+    The ensemble runtime needs raw timestamps — heartbeat ages and
+    deadline arithmetic, not intervals — which :class:`Timer` does not
+    model.  Routing the read through this module keeps the RPR009
+    "no ad-hoc clock reads" chokepoint intact.
+    """
+    return time.monotonic()
 
 
 @dataclass

@@ -1,4 +1,4 @@
-"""Tests of the static layer: rules RPR001-RPR009, CLI, output formats."""
+"""Tests of the static layer: rules RPR001-RPR010, CLI, output formats."""
 
 from __future__ import annotations
 
@@ -30,12 +30,12 @@ def rule_ids(source: str) -> list[str]:
 # the registry itself
 # ----------------------------------------------------------------------
 
-def test_at_least_nine_rules_registered():
+def test_at_least_ten_rules_registered():
     rules = all_rules()
-    assert len(rules) >= 9
+    assert len(rules) >= 10
     ids = [r.meta.id for r in rules]
     assert ids == sorted(ids)
-    for expected in [f"RPR00{k}" for k in range(1, 10)]:
+    for expected in [f"RPR00{k}" for k in range(1, 10)] + ["RPR010"]:
         assert expected in ids
 
 
@@ -322,6 +322,93 @@ def test_rpr009_exempts_timing_bench_obs_and_tests():
                    for f in lint_source(snippet, path)), path
     assert any(f.rule == "RPR009"
                for f in lint_source(snippet, "src/repro/pme/spread.py"))
+
+
+# ----------------------------------------------------------------------
+# RPR010 failures dropped outside the resilience taxonomy
+# ----------------------------------------------------------------------
+
+def test_rpr010_flags_silently_dropped_failure():
+    findings = rule_ids("""
+        def boundary():
+            try:
+                step()
+            except Exception:
+                result = None
+    """)
+    assert "RPR010" in findings
+    assert "RPR006" in findings  # strictly narrower sibling also fires
+
+
+def test_rpr010_flags_bare_except_and_tuple_handlers():
+    assert "RPR010" in rule_ids("""
+        def f():
+            try:
+                step()
+            except:
+                pass
+    """)
+    assert "RPR010" in rule_ids("""
+        def f():
+            try:
+                step()
+            except (ValueError, Exception):
+                pass
+    """)
+
+
+def test_rpr010_accepts_reraise():
+    assert "RPR010" not in rule_ids("""
+        def f():
+            try:
+                step()
+            except Exception:
+                cleanup()
+                raise
+    """)
+
+
+def test_rpr010_accepts_taxonomy_routing():
+    # converting to a classified StepFailure at a process boundary
+    assert "RPR010" not in rule_ids("""
+        from repro.resilience.failures import StepFailure
+
+        def worker_boundary(conn):
+            try:
+                step()
+            except Exception as exc:
+                conn.send(StepFailure.from_exception(exc))
+    """)
+    # recording on a RecoveryLog
+    assert "RPR010" not in rule_ids("""
+        def f(log):
+            try:
+                step()
+            except Exception as exc:
+                log.record(1, classify_exception(exc), "drop")
+    """)
+
+
+def test_rpr010_ignores_narrow_handlers():
+    assert "RPR010" not in rule_ids("""
+        def f():
+            try:
+                step()
+            except ValueError:
+                pass
+    """)
+
+
+def test_rpr010_suppressible_independently_of_rpr006():
+    findings = rule_ids("""
+        def f():
+            try:
+                step()
+            except Exception:  # noqa: RPR006 - boundary, but untyped
+                pass
+    """)
+    assert "RPR006" not in findings
+    assert "RPR010" in findings
 
 
 # ----------------------------------------------------------------------
