@@ -1,0 +1,248 @@
+"""Performance-regression ledger for the benchmark records.
+
+Two workflows over the machine-readable ``BENCH_<name>.json`` records
+(:mod:`repro.bench.record`):
+
+* ``repro bench record`` — :func:`append_history` folds each record
+  into an append-only JSONL *history* file keyed by machine identity
+  (architecture + python + benchmark scale), so one ledger can
+  accumulate runs from heterogeneous CI runners without mixing their
+  timings;
+* ``repro bench compare`` — :func:`compare_records` diffs a fresh run
+  against a committed baseline record with **noise-aware** thresholds:
+  a timing regresses only when
+
+  .. code-block:: text
+
+      current.best > baseline.best * (1 + rel_tol)
+                     + sigma * max(baseline.std, current.std)
+
+  i.e. the relative budget (default +50%) is widened by ``sigma``
+  (default 3) standard deviations of whichever side measured noisier
+  — the ``TimingStats.std`` spread recorded by
+  :func:`~repro.bench.harness.measure_seconds`.  Old records whose
+  rows carry bare floats (no spread) degrade gracefully to the purely
+  relative test.
+
+Timings are extracted from a record's table by column: any cell that
+is a serialized :class:`~repro.bench.harness.TimingStats` (a dict with
+``best``), or a plain number under a header ending in ``(s)``, keyed
+as ``"<first row cell>/<header>"``.  ``repro profile --json`` output
+(``repro-profile/1``) is accepted too — its per-phase measured
+seconds become ledger timings — so profile runs can ride the same
+regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["Timing", "machine_key", "extract_timings", "history_entry",
+           "append_history", "load_history", "Delta", "Comparison",
+           "compare_records", "HISTORY_SCHEMA"]
+
+#: Version tag of the history-line layout (bump on incompatible change).
+HISTORY_SCHEMA = "repro-bench-history/1"
+
+#: Noise-aware comparison defaults: +50% relative budget, widened by
+#: 3 standard deviations of the noisier measurement.
+DEFAULT_REL_TOL = 0.5
+DEFAULT_SIGMA = 3.0
+
+
+@dataclass(frozen=True)
+class Timing:
+    """One extracted wall-clock measurement (seconds)."""
+
+    best: float
+    std: float = 0.0
+    repeats: int = 1
+
+    def to_json(self) -> dict[str, Any]:
+        return {"best": self.best, "std": self.std,
+                "repeats": self.repeats}
+
+    @classmethod
+    def from_json(cls, d: dict[str, Any]) -> Timing:
+        return cls(best=float(d["best"]), std=float(d.get("std", 0.0)),
+                   repeats=int(d.get("repeats", 1)))
+
+
+def machine_key(record: dict[str, Any]) -> str:
+    """The history shard a record belongs to.
+
+    Architecture, python version and benchmark scale — the identity
+    axes along which absolute timings are comparable.  Records from
+    different keys are never diffed against each other.
+    """
+    return (f"{record.get('machine', 'unknown')}"
+            f"-py{record.get('python', 'unknown')}"
+            f"-{record.get('scale', 'ci')}")
+
+
+def extract_timings(record: dict[str, Any]) -> dict[str, Timing]:
+    """All wall-clock timings of a record, keyed ``"<row>/<column>"``.
+
+    Accepts ``repro-bench-record/*`` tables (cells that are serialized
+    :class:`~repro.bench.harness.TimingStats`, or plain numbers under
+    a header ending in ``(s)``) and ``repro-profile/*`` documents
+    (per-phase measured seconds, keyed ``"<phase>/measured (s)"``).
+    """
+    schema = str(record.get("schema", ""))
+    out: dict[str, Timing] = {}
+    if schema.startswith("repro-profile/"):
+        for row in record.get("rows", []):
+            out[f"{row['phase']}/measured (s)"] = Timing(
+                best=float(row["measured"]))
+        return out
+    headers = [str(h) for h in record.get("headers", [])]
+    for row in record.get("rows", []):
+        row = list(row)
+        row_key = str(row[0]) if row else "?"
+        for header, cell in zip(headers, row):
+            if isinstance(cell, dict) and "best" in cell:
+                out[f"{row_key}/{header}"] = Timing.from_json(cell)
+            elif (header.endswith("(s)")
+                    and isinstance(cell, (int, float))
+                    and not isinstance(cell, bool)):
+                out[f"{row_key}/{header}"] = Timing(best=float(cell))
+    return out
+
+
+def history_entry(record: dict[str, Any]) -> dict[str, Any]:
+    """The JSONL history line for one benchmark record."""
+    return {"schema": HISTORY_SCHEMA,
+            "machine_key": machine_key(record),
+            "name": record.get("name"),
+            "unix_time": record.get("unix_time"),
+            "timings": {key: timing.to_json()
+                        for key, timing in
+                        extract_timings(record).items()}}
+
+
+def append_history(record: dict[str, Any],
+                   path: str | Path) -> dict[str, Any]:
+    """Append one record's history line to the ledger; returns it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = history_entry(record)
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def load_history(path: str | Path, *, machine: str | None = None,
+                 name: str | None = None) -> list[dict[str, Any]]:
+    """Parse a history ledger, optionally filtered by shard and name."""
+    out = []
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if machine is not None and entry.get("machine_key") != machine:
+                continue
+            if name is not None and entry.get("name") != name:
+                continue
+            out.append(entry)
+    return out
+
+
+@dataclass
+class Delta:
+    """One baseline-vs-current timing comparison."""
+
+    key: str
+    baseline: Timing
+    current: Timing
+    rel_tol: float = DEFAULT_REL_TOL
+    sigma: float = DEFAULT_SIGMA
+
+    @property
+    def ratio(self) -> float:
+        """current.best / baseline.best (``inf`` for a zero baseline)."""
+        if self.baseline.best == 0.0:
+            return float("inf") if self.current.best > 0.0 else 1.0
+        return self.current.best / self.baseline.best
+
+    @property
+    def threshold(self) -> float:
+        """Seconds above which the current timing counts as regressed."""
+        return (self.baseline.best * (1.0 + self.rel_tol)
+                + self.sigma * max(self.baseline.std, self.current.std))
+
+    @property
+    def regressed(self) -> bool:
+        return self.current.best > self.threshold
+
+
+@dataclass
+class Comparison:
+    """Result of diffing one record against a baseline."""
+
+    name: str
+    deltas: list[Delta] = field(default_factory=list)
+    #: Baseline timing keys absent from the current record — a renamed
+    #: or dropped measurement can hide a regression, so missing keys
+    #: fail the comparison until the baseline is updated deliberately.
+    missing: list[str] = field(default_factory=list)
+    #: Current-record keys the baseline does not know (informational).
+    new: list[str] = field(default_factory=list)
+    #: True when the records came from different machine keys (the
+    #: comparison still runs, but absolute thresholds mean little).
+    cross_machine: bool = False
+
+    @property
+    def regressions(self) -> list[Delta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions and not self.missing
+
+    def format_table(self) -> str:
+        from .harness import format_table
+
+        rows: list[list[Any]] = []
+        for d in sorted(self.deltas, key=lambda d: d.key):
+            rows.append([d.key, f"{d.baseline.best:.4g}",
+                         f"{d.current.best:.4g}",
+                         f"{d.threshold:.4g}", f"{d.ratio:.2f}x",
+                         "REGRESSED" if d.regressed else "ok"])
+        for key in sorted(self.missing):
+            rows.append([key, "-", "-", "-", "-", "MISSING"])
+        title = f"bench compare: {self.name}"
+        if self.cross_machine:
+            title += " (cross-machine: thresholds are advisory)"
+        return format_table(
+            title, ["timing", "baseline (s)", "current (s)",
+                    "threshold (s)", "ratio", "status"], rows)
+
+
+def compare_records(current: dict[str, Any], baseline: dict[str, Any],
+                    *, rel_tol: float = DEFAULT_REL_TOL,
+                    sigma: float = DEFAULT_SIGMA) -> Comparison:
+    """Noise-aware diff of a current record against a baseline.
+
+    Every timing the baseline knows must be present and within
+    threshold for :attr:`Comparison.ok`; see the module docstring for
+    the regression criterion.
+    """
+    base = extract_timings(baseline)
+    cur = extract_timings(current)
+    comparison = Comparison(
+        name=str(current.get("name", baseline.get("name", "?"))),
+        cross_machine=machine_key(current) != machine_key(baseline))
+    for key, base_timing in base.items():
+        if key not in cur:
+            comparison.missing.append(key)
+            continue
+        comparison.deltas.append(Delta(
+            key=key, baseline=base_timing, current=cur[key],
+            rel_tol=rel_tol, sigma=sigma))
+    comparison.new = [k for k in cur if k not in base]
+    return comparison

@@ -12,6 +12,10 @@ The subcommands cover the common workflows:
 * ``analyze``  — diffusion analysis of a saved trajectory,
 * ``tune``     — print the PME parameters the tuner selects for a
   system size / accuracy target (one Table III row),
+* ``bench``    — performance-regression ledger: ``bench record``
+  appends ``BENCH_*.json`` runs to a machine-keyed history file,
+  ``bench compare`` diffs a run against a committed baseline with
+  noise-aware thresholds (nonzero exit on regression),
 * ``info``     — version, backend and machine-model summary.
 """
 
@@ -116,6 +120,9 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--e-k", type=float, default=1e-2)
     prof.add_argument("--e-p", type=float, default=1e-3)
     prof.add_argument("--seed", type=int, default=0)
+    prof.add_argument("--json", default=None, metavar="PATH",
+                      help="write the machine-readable profile document "
+                           "(repro-profile/1; feeds `repro bench`)")
     _add_obs_arguments(prof)
 
     ana = sub.add_parser("analyze", help="analyze a saved trajectory")
@@ -128,6 +135,35 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--e-p", type=float, default=1e-3)
     tune.add_argument("-p", "--order", type=int, default=6,
                       help="B-spline order (4, 6 or 8)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="benchmark ledger: record history, compare vs a baseline")
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    brec = bench_sub.add_parser(
+        "record",
+        help="append BENCH_*.json records to the machine-keyed "
+             "history ledger")
+    brec.add_argument("records", nargs="+", metavar="BENCH_JSON",
+                      help="benchmark record files (or repro-profile "
+                           "JSON documents)")
+    brec.add_argument("--history", default="benchmarks/bench-history.jsonl",
+                      metavar="PATH",
+                      help="history ledger to append to "
+                           "(default benchmarks/bench-history.jsonl)")
+    bcmp = bench_sub.add_parser(
+        "compare",
+        help="diff a benchmark record against a committed baseline "
+             "(noise-aware; exits nonzero on regression)")
+    bcmp.add_argument("current", metavar="BENCH_JSON",
+                      help="the freshly produced record")
+    bcmp.add_argument("--baseline", required=True, metavar="PATH",
+                      help="the committed baseline record")
+    bcmp.add_argument("--rel-tol", type=float, default=None,
+                      help="relative slowdown budget (default 0.5 = +50%%)")
+    bcmp.add_argument("--sigma", type=float, default=None,
+                      help="noise widening in standard deviations "
+                           "(default 3)")
 
     lint = sub.add_parser(
         "lint", help="physics-aware static analysis (file rules "
@@ -169,8 +205,13 @@ def _write_obs_outputs(args, tracer, registry) -> None:
         print(f"metrics -> {path}")
 
 
-def _with_obs(args, runner) -> int:
-    """Run ``runner(args)`` under a fresh tracer/registry if requested."""
+def _with_obs(args, runner, write_outputs: bool = True) -> int:
+    """Run ``runner(args)`` under a fresh tracer/registry if requested.
+
+    ``write_outputs=False`` leaves the export to the runner — the
+    ensemble command writes *merged* cross-process outputs instead of
+    the supervisor-only view this helper would produce.
+    """
     if not _obs_wanted(args):
         return runner(args)
     from . import obs
@@ -184,7 +225,8 @@ def _with_obs(args, runner) -> int:
     finally:
         obs.set_tracer(previous_tracer)
         obs.set_metrics(previous_registry)
-    _write_obs_outputs(args, tracer, registry)
+    if write_outputs:
+        _write_obs_outputs(args, tracer, registry)
     return code
 
 
@@ -193,7 +235,7 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_ensemble(args) -> int:
-    return _with_obs(args, _run_ensemble)
+    return _with_obs(args, _run_ensemble, write_outputs=False)
 
 
 def _run_simulate(args) -> int:
@@ -324,6 +366,21 @@ def _run_ensemble(args) -> int:
             print(f"  quarantined task {record.spec.task_id}: "
                   f"{failure.get('kind')}: {failure.get('message')}")
     print(f"manifest -> {manifest_path}")
+    collection = report.collection
+    if collection is not None:
+        print(f"observability: {collection.summary()}")
+        for kind, path in sorted(collection.outputs.items()):
+            print(f"  {kind} -> {path}")
+        if args.trace is not None:
+            path = collection.merged.write_jsonl(args.trace)
+            print(f"merged trace: {len(collection.merged.events)} "
+                  f"events -> {path}")
+        if args.chrome_trace is not None:
+            path = collection.merged.write_chrome_trace(args.chrome_trace)
+            print(f"merged chrome trace -> {path}")
+        if args.metrics is not None:
+            path = collection.metrics.write(args.metrics)
+            print(f"aggregated metrics -> {path}")
     if report.drained:
         print("resumable: campaign drained; continue with "
               f"`repro ensemble --resume --checkpoint-dir "
@@ -345,6 +402,8 @@ def _cmd_profile(args) -> int:
     if other:
         print("other spans (s): " + ", ".join(
             f"{name}={total:.4g}" for name, total in other.items()))
+    if args.json is not None:
+        report.outputs["json"] = report.write_json(args.json)
     for kind, path in report.outputs.items():
         print(f"{kind} -> {path}")
     return 0
@@ -389,6 +448,49 @@ def _cmd_tune(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from .bench import ledger
+
+    if args.bench_command == "record":
+        for record_path in args.records:
+            record = _json.loads(
+                Path(record_path).read_text(encoding="utf-8"))
+            entry = ledger.append_history(record, args.history)
+            print(f"{record_path}: {entry['name']} "
+                  f"[{entry['machine_key']}] "
+                  f"{len(entry['timings'])} timings -> {args.history}")
+        return 0
+
+    # compare
+    current = _json.loads(Path(args.current).read_text(encoding="utf-8"))
+    baseline = _json.loads(
+        Path(args.baseline).read_text(encoding="utf-8"))
+    kwargs = {}
+    if args.rel_tol is not None:
+        kwargs["rel_tol"] = args.rel_tol
+    if args.sigma is not None:
+        kwargs["sigma"] = args.sigma
+    comparison = ledger.compare_records(current, baseline, **kwargs)
+    print(comparison.format_table())
+    if comparison.new:
+        print("new timings (not in baseline): "
+              + ", ".join(sorted(comparison.new)))
+    if comparison.ok:
+        print(f"ok: {len(comparison.deltas)} timings within threshold")
+        return 0
+    if comparison.regressions:
+        print(f"REGRESSION: {len(comparison.regressions)} of "
+              f"{len(comparison.deltas)} timings exceeded threshold")
+    if comparison.missing:
+        print(f"MISSING: {len(comparison.missing)} baseline timings "
+              "absent from the current record (update the baseline "
+              "deliberately if the benchmark changed)")
+    return 1
+
+
 def _cmd_lint(args) -> int:
     return _cmd_lint_argv(args.lint_args)
 
@@ -428,6 +530,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "analyze": _cmd_analyze,
         "tune": _cmd_tune,
+        "bench": _cmd_bench,
         "lint": _cmd_lint,
         "info": _cmd_info,
     }

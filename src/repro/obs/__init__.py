@@ -35,6 +35,19 @@ Inside library code, use the fast-path facades::
 
 from __future__ import annotations
 
+from .collect import (
+    CampaignCollection,
+    MergedTrace,
+    SpoolingSession,
+    SpoolWriter,
+    TraceContext,
+    TrackGroup,
+    aggregate_metrics,
+    collect_campaign,
+    merge_traces,
+    read_spool,
+    spans_for_task,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -57,11 +70,14 @@ from .schema import (
     validate_trace_events,
 )
 from .trace import (
+    TRACE_SCHEMA,
     SpanEvent,
     Tracer,
+    clock,
     get_tracer,
     instant,
     read_jsonl,
+    read_jsonl_header,
     set_tracer,
     span,
     to_chrome_trace,
@@ -71,7 +87,11 @@ from .trace import (
 
 __all__ = [
     "SpanEvent", "Tracer", "span", "instant", "get_tracer", "set_tracer",
-    "tracing_enabled", "read_jsonl", "write_jsonl", "to_chrome_trace",
+    "tracing_enabled", "read_jsonl", "read_jsonl_header", "write_jsonl",
+    "to_chrome_trace", "clock", "TRACE_SCHEMA",
+    "TraceContext", "SpoolWriter", "SpoolingSession", "TrackGroup",
+    "MergedTrace", "merge_traces", "read_spool", "aggregate_metrics",
+    "collect_campaign", "CampaignCollection", "spans_for_task",
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "get_metrics",
     "set_metrics", "metrics_enabled", "inc", "observe", "set_gauge",
     "record_solver",

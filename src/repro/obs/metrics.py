@@ -122,6 +122,37 @@ class Histogram:
         """Mean observed value (0 when empty)."""
         return self.sum / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimated ``q``-quantile, interpolated from the buckets.
+
+        Prometheus-style ``histogram_quantile``: find the bucket the
+        target rank falls in and interpolate linearly inside it,
+        clamped to the observed ``min``/``max`` (which also bound the
+        open-ended first and ``+Inf`` buckets).  Returns ``None`` for
+        an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return None
+        target = q * self.count
+        previous = 0
+        for i, (bound, cumulative) in enumerate(zip(self.buckets,
+                                                    self.counts)):
+            if cumulative >= target:
+                in_bucket = cumulative - previous
+                lower = max(self.buckets[i - 1] if i > 0 else self.min,
+                            self.min)
+                upper = min(bound, self.max)
+                if in_bucket == 0 or upper <= lower:
+                    return min(max(upper, self.min), self.max)
+                frac = (target - previous) / in_bucket
+                return min(max(lower + frac * (upper - lower), self.min),
+                           self.max)
+            previous = cumulative
+        # target beyond the last finite bucket: the +Inf bucket
+        return self.max
+
 
 @dataclass
 class _Family:
@@ -228,6 +259,9 @@ class MetricsRegistry:
                         mean=series.mean,
                         min=(None if series.count == 0 else series.min),
                         max=(None if series.count == 0 else series.max),
+                        p50=series.quantile(0.50),
+                        p90=series.quantile(0.90),
+                        p99=series.quantile(0.99),
                         buckets=[{"le": b, "count": c} for b, c in
                                  zip(series.buckets, series.counts)])
                 else:

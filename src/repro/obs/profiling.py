@@ -28,7 +28,12 @@ from typing import Any
 from . import metrics as _metrics
 from . import trace as _trace
 
-__all__ = ["PhaseRow", "ProfileReport", "run_profile"]
+__all__ = ["PhaseRow", "ProfileReport", "run_profile", "PROFILE_SCHEMA"]
+
+#: Version tag of the ``repro profile --json`` document layout.  The
+#: document doubles as a :mod:`repro.bench.ledger` input — per-phase
+#: measured seconds become ledger timings.
+PROFILE_SCHEMA = "repro-profile/1"
 
 #: Reciprocal phases in Fig. 5 order, then the real-space term.
 PROFILE_PHASES = ["spread", "fft", "influence", "ifft", "interpolate",
@@ -88,6 +93,33 @@ class ProfileReport:
                             ["phase", "calls", "measured (s)",
                              "predicted (s)", "meas/pred"],
                             table_rows)
+
+    def to_json(self) -> dict[str, Any]:
+        """The machine-readable profile document (``repro-profile/1``).
+
+        Consumable by :mod:`repro.bench.ledger`, so profile runs can
+        feed the same regression gate as the benchmarks.
+        """
+        return {
+            "schema": PROFILE_SCHEMA,
+            "n": self.n, "K": self.K, "p": self.p, "steps": self.steps,
+            "applications": self.applications,
+            "rows": [{"phase": row.phase, "calls": row.calls,
+                      "measured": row.measured,
+                      "predicted": row.predicted, "ratio": row.ratio}
+                     for row in self.rows],
+            "totals": dict(self.totals),
+            "counts": dict(self.counts),
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write :meth:`to_json` to ``path``; returns the path."""
+        import json
+
+        path = Path(path)
+        path.write_text(json.dumps(self.to_json(), indent=2) + "\n",
+                        encoding="utf-8")
+        return path
 
 
 def run_profile(n: int = 1000, phi: float = 0.2, steps: int = 5,

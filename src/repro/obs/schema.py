@@ -21,12 +21,16 @@ import sys
 from pathlib import Path
 from typing import Any
 
-__all__ = ["TRACE_EVENT_SCHEMA", "METRICS_JSON_SCHEMA",
+__all__ = ["TRACE_EVENT_SCHEMA", "TRACE_HEADER_SCHEMA",
+           "METRICS_JSON_SCHEMA",
            "validate_trace_event", "validate_trace_events",
-           "validate_chrome_trace", "validate_metrics_json",
+           "validate_trace_header", "validate_chrome_trace",
+           "validate_metrics_json",
            "validate_prometheus_text", "validate_file", "main"]
 
-#: JSON-Schema-style description of one JSONL trace event.
+#: JSON-Schema-style description of one JSONL trace event (v2: the
+#: ``pid``/``worker_id``/``task_id`` process-identity fields are
+#: optional, so v1 streams keep validating).
 TRACE_EVENT_SCHEMA: dict[str, Any] = {
     "type": "object",
     "required": ["name", "ph", "ts", "dur", "tid", "depth"],
@@ -38,6 +42,25 @@ TRACE_EVENT_SCHEMA: dict[str, Any] = {
         "tid": {"type": "integer"},
         "depth": {"type": "integer", "minimum": 0},
         "args": {"type": "object"},
+        "pid": {"type": "integer"},
+        "worker_id": {"type": "integer"},
+        "task_id": {"type": "integer"},
+    },
+}
+
+#: JSON-Schema-style description of the v2 JSONL stream header (first
+#: line; distinguished from events by ``schema`` + missing ``name``).
+TRACE_HEADER_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["schema", "dropped"],
+    "properties": {
+        "schema": {"type": "string", "pattern": "^repro-trace/"},
+        "dropped": {"type": "integer", "minimum": 0},
+        "pid": {"type": "integer"},
+        "worker_id": {"type": "integer"},
+        "trace_id": {"type": "string"},
+        "epoch": {"type": "number"},
+        "kind": {"enum": ["trace", "spool", "merged"]},
     },
 }
 
@@ -105,6 +128,27 @@ def validate_trace_event(event: dict[str, Any],
     if "args" in event:
         _require(isinstance(event["args"], dict),
                  f"{where}: args must be an object")
+    for key in ("pid", "worker_id", "task_id"):
+        if key in event:
+            _require(isinstance(event[key], int)
+                     and not isinstance(event[key], bool),
+                     f"{where}: {key} must be an integer")
+
+
+def validate_trace_header(header: dict[str, Any]) -> None:
+    """Validate a v2 JSONL stream header; raises :class:`SchemaError`."""
+    _require(isinstance(header, dict), "header: not an object")
+    _require(isinstance(header.get("schema"), str)
+             and header["schema"].startswith("repro-trace/"),
+             f"header: schema must be 'repro-trace/<v>', "
+             f"got {header.get('schema')!r}")
+    dropped = header.get("dropped")
+    _require(isinstance(dropped, int) and not isinstance(dropped, bool)
+             and dropped >= 0,
+             "header: dropped must be a non-negative integer")
+    if "kind" in header:
+        _require(header["kind"] in ("trace", "spool", "merged"),
+                 f"header: unknown kind {header['kind']!r}")
 
 
 def validate_trace_events(events: list[dict[str, Any]]) -> None:
@@ -125,11 +169,15 @@ def validate_chrome_trace(doc: dict[str, Any]) -> None:
         _require(isinstance(e, dict), f"{where}: not an object")
         for key in ("name", "ph", "pid", "tid", "ts"):
             _require(key in e, f"{where}: missing required key {key!r}")
-        _require(e["ph"] in ("X", "i"),
+        _require(e["ph"] in ("X", "i", "M"),
                  f"{where}: unsupported phase {e['ph']!r}")
         if e["ph"] == "X":
             _require("dur" in e and e["dur"] >= 0,
                      f"{where}: complete events need dur >= 0")
+        if e["ph"] == "M":
+            _require(e["name"] in ("process_name", "process_sort_index",
+                                   "thread_name", "thread_sort_index"),
+                     f"{where}: unknown metadata event {e['name']!r}")
 
 
 def validate_metrics_json(doc: dict[str, Any]) -> None:
@@ -174,26 +222,41 @@ def validate_prometheus_text(text: str) -> None:
 def validate_file(path: str | Path) -> str:
     """Validate one exported file, dispatching on its extension.
 
-    Returns a short description of what was validated; raises
+    Returns a short description of what was validated — including a
+    ``WARNING`` notice when the stream recorded dropped events (the
+    ``max_events`` cap truncated it; no silent caps) — or raises
     :class:`SchemaError` (or ``OSError`` / ``json.JSONDecodeError``)
     on failure.
     """
     path = Path(path)
     if path.suffix == ".jsonl":
-        from .trace import read_jsonl
+        from .trace import read_jsonl, read_jsonl_header
+        header = read_jsonl_header(path)
+        if header is not None:
+            validate_trace_header(header)
         events = read_jsonl(path)
         validate_trace_events(events)
-        return f"trace jsonl ({len(events)} events)"
+        desc = f"trace jsonl ({len(events)} events)"
+        return desc + _dropped_warning(header)
     if path.suffix == ".json":
         doc = json.loads(path.read_text(encoding="utf-8"))
         if "traceEvents" in doc:
             validate_chrome_trace(doc)
-            return f"chrome trace ({len(doc['traceEvents'])} events)"
+            desc = f"chrome trace ({len(doc['traceEvents'])} events)"
+            return desc + _dropped_warning(doc.get("otherData"))
         validate_metrics_json(doc)
         return f"metrics json ({len(doc['metrics'])} families)"
     text = path.read_text(encoding="utf-8")
     validate_prometheus_text(text)
     return f"prometheus text ({len(text.splitlines())} lines)"
+
+
+def _dropped_warning(header: dict[str, Any] | None) -> str:
+    dropped = (header or {}).get("dropped", 0)
+    if isinstance(dropped, int) and dropped > 0:
+        return (f" — WARNING: {dropped} events dropped at the "
+                "max_events cap (raise it for complete traces)")
+    return ""
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -212,6 +275,9 @@ def main(argv: list[str] | None = None) -> int:
             status = 1
         else:
             print(f"{arg}: ok — {what}")
+            if "WARNING" in what:
+                print(f"{arg}: warning — dropped events detected",
+                      file=sys.stderr)
     return status
 
 

@@ -32,7 +32,14 @@ from typing import Any, Iterable
 
 __all__ = ["SpanEvent", "Tracer", "span", "instant", "get_tracer",
            "set_tracer", "tracing_enabled", "write_jsonl", "read_jsonl",
-           "to_chrome_trace", "NULL_SPAN"]
+           "read_jsonl_header", "to_chrome_trace", "clock", "NULL_SPAN",
+           "TRACE_SCHEMA"]
+
+#: Version tag of the trace event/stream layout.  v2 adds the optional
+#: process-identity fields (``pid``/``worker_id``/``task_id``) and the
+#: JSONL header line carrying ``dropped`` — v1 streams (no header, no
+#: identity fields) still validate.
+TRACE_SCHEMA = "repro-trace/2"
 
 
 @dataclass
@@ -56,6 +63,14 @@ class SpanEvent:
         (Chrome trace-event phase letters).
     args:
         Free-form attributes attached at the call site.
+    pid:
+        Recording process id (schema v2; stamped by the tracer so
+        multi-process merges keep events attributable).
+    worker_id:
+        Ensemble worker that recorded the event (``None`` outside the
+        multi-process runtime).
+    task_id:
+        Campaign task the event belongs to (``None`` outside a task).
     """
 
     name: str
@@ -65,12 +80,21 @@ class SpanEvent:
     depth: int
     phase: str = "X"
     args: dict[str, Any] = field(default_factory=dict)
+    pid: int | None = None
+    worker_id: int | None = None
+    task_id: int | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form used by the JSONL export."""
         out: dict[str, Any] = {"name": self.name, "ph": self.phase,
                                "ts": self.ts, "dur": self.dur,
                                "tid": self.tid, "depth": self.depth}
+        if self.pid is not None:
+            out["pid"] = self.pid
+        if self.worker_id is not None:
+            out["worker_id"] = self.worker_id
+        if self.task_id is not None:
+            out["task_id"] = self.task_id
         if self.args:
             out["args"] = self.args
         return out
@@ -124,14 +148,25 @@ class Tracer:
         Safety cap on stored events; once reached, further events are
         counted in :attr:`dropped` instead of stored (an unbounded
         month-long run must not exhaust memory through its telemetry).
+        A spooling consumer that calls :meth:`drain` periodically
+        effectively turns the cap into a per-flush-window bound.
+    worker_id, task_id:
+        Optional trace context (schema v2) stamped on every recorded
+        event — the ensemble runtime propagates these so merged
+        multi-process traces stay attributable and correlatable.
     """
 
-    def __init__(self, max_events: int = 1_000_000):
+    def __init__(self, max_events: int = 1_000_000, *,
+                 worker_id: int | None = None,
+                 task_id: int | None = None):
         self.epoch = time.perf_counter()
         self.max_events = int(max_events)
         self.events: list[SpanEvent] = []
         #: Events discarded after ``max_events`` was reached.
         self.dropped = 0
+        self.pid = os.getpid()
+        self.worker_id = worker_id
+        self.task_id = task_id
         self._lock = threading.Lock()
         self._local = threading.local()
 
@@ -149,12 +184,25 @@ class Tracer:
                 phase: str, args: dict[str, Any]) -> None:
         event = SpanEvent(name=name, ts=t0 - self.epoch, dur=dur,
                           tid=threading.get_ident(), depth=depth,
-                          phase=phase, args=args)
+                          phase=phase, args=args, pid=self.pid,
+                          worker_id=self.worker_id, task_id=self.task_id)
         with self._lock:
             if len(self.events) < self.max_events:
                 self.events.append(event)
             else:
                 self.dropped += 1
+
+    def drain(self) -> list[SpanEvent]:
+        """Atomically remove and return the recorded events.
+
+        Used by spooling consumers (the ensemble workers) to ship
+        events incrementally with bounded memory: :attr:`dropped`
+        stays cumulative across drains, and draining frees the whole
+        ``max_events`` budget for the next flush window.
+        """
+        with self._lock:
+            events, self.events = self.events, []
+        return events
 
     # -- public recording API --------------------------------------------
 
@@ -206,13 +254,43 @@ class Tracer:
 
     # -- export ------------------------------------------------------------
 
+    def header(self) -> dict[str, Any]:
+        """The JSONL stream header (schema tag, drop count, context)."""
+        out: dict[str, Any] = {"schema": TRACE_SCHEMA,
+                               "dropped": self.dropped, "pid": self.pid,
+                               "epoch": self.epoch}
+        if self.worker_id is not None:
+            out["worker_id"] = self.worker_id
+        return out
+
+    def _export_events(self) -> list[SpanEvent]:
+        """Events to export, with a final ``trace.dropped`` instant when
+        the cap truncated the stream (no silent drops)."""
+        events = list(self.events)
+        if self.dropped:
+            events.append(SpanEvent(
+                name="trace.dropped", ts=time.perf_counter() - self.epoch,
+                dur=0.0, tid=threading.get_ident(), depth=0, phase="i",
+                args={"dropped": self.dropped,
+                      "max_events": self.max_events},
+                pid=self.pid, worker_id=self.worker_id))
+        return events
+
     def write_jsonl(self, path: str | Path) -> Path:
-        """Write one JSON object per line; returns the path written."""
-        return write_jsonl(self.events, path)
+        """Write one JSON object per line; returns the path written.
+
+        The first line is the stream header (schema tag, ``dropped``
+        count, recording context); a nonzero drop count additionally
+        appends a ``trace.dropped`` instant event.
+        """
+        return write_jsonl(self._export_events(), path,
+                           header=self.header())
 
     def to_chrome_trace(self) -> dict[str, Any]:
         """The ``chrome://tracing`` / Perfetto JSON document."""
-        return to_chrome_trace(self.events)
+        doc = to_chrome_trace(self._export_events())
+        doc["otherData"]["dropped"] = self.dropped
+        return doc
 
     def write_chrome_trace(self, path: str | Path) -> Path:
         """Write the Chrome trace-event JSON document to ``path``."""
@@ -222,40 +300,75 @@ class Tracer:
         return path
 
 
-def write_jsonl(events: Iterable[SpanEvent], path: str | Path) -> Path:
-    """Write events as JSON Lines (one event dict per line)."""
+def write_jsonl(events: Iterable[SpanEvent], path: str | Path,
+                header: dict[str, Any] | None = None) -> Path:
+    """Write events as JSON Lines (one event dict per line).
+
+    ``header``, when given, becomes the first line of the stream (the
+    schema-v2 header object; distinguished from events by its
+    ``schema`` key and absence of a ``name``).
+    """
     path = Path(path)
     with path.open("w", encoding="utf-8") as fh:
+        if header is not None:
+            fh.write(json.dumps(header) + "\n")
         for event in events:
             fh.write(json.dumps(event.to_dict()) + "\n")
     return path
 
 
+def is_header(obj: dict[str, Any]) -> bool:
+    """Whether a parsed JSONL line is a stream header, not an event."""
+    return "schema" in obj and "name" not in obj
+
+
 def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
-    """Parse a JSONL trace back into event dictionaries."""
+    """Parse a JSONL trace back into event dictionaries.
+
+    A leading schema-v2 header line is skipped (use
+    :func:`read_jsonl_header` to read it).
+    """
     out = []
     with Path(path).open(encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()
             if line:
-                out.append(json.loads(line))
+                obj = json.loads(line)
+                if not out and is_header(obj):
+                    continue
+                out.append(obj)
     return out
+
+
+def read_jsonl_header(path: str | Path) -> dict[str, Any] | None:
+    """The stream header of a JSONL trace (``None`` for v1 streams)."""
+    with Path(path).open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                obj = json.loads(line)
+                return obj if is_header(obj) else None
+    return None
 
 
 def to_chrome_trace(events: Iterable[SpanEvent]) -> dict[str, Any]:
     """Convert events to the Chrome trace-event format.
 
     Timestamps and durations are microseconds as the format requires;
-    the span's dotted root becomes the category.
+    the span's dotted root becomes the category.  Events stamped with
+    a ``pid`` (schema v2) keep it — merged multi-process traces rely
+    on it for their per-worker process tracks — and their
+    ``worker_id``/``task_id`` context lands in ``args`` so Perfetto
+    queries can correlate supervisor and worker spans.
     """
-    pid = os.getpid()
+    own_pid = os.getpid()
     trace_events = []
     for e in events:
         entry: dict[str, Any] = {
             "name": e.name,
             "cat": e.name.split(".", 1)[0],
             "ph": e.phase,
-            "pid": pid,
+            "pid": own_pid if e.pid is None else e.pid,
             "tid": e.tid,
             "ts": e.ts * 1e6,
         }
@@ -263,10 +376,29 @@ def to_chrome_trace(events: Iterable[SpanEvent]) -> dict[str, Any]:
             entry["dur"] = e.dur * 1e6
         else:
             entry["s"] = "t"  # thread-scoped instant
-        if e.args:
-            entry["args"] = e.args
+        args = dict(e.args)
+        if e.worker_id is not None:
+            args.setdefault("worker_id", e.worker_id)
+        if e.task_id is not None:
+            args.setdefault("task_id", e.task_id)
+        if args:
+            entry["args"] = args
         trace_events.append(entry)
-    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms",
+            "otherData": {"schema": TRACE_SCHEMA}}
+
+
+def clock() -> float:
+    """A reading of the tracer clock (for externally timed intervals).
+
+    :meth:`Tracer.add_interval` interprets ``t0`` on this clock;
+    callers outside the timing/obs layers must use this helper rather
+    than a direct ``time.perf_counter()`` so every interval stays on
+    the single tracer timebase (``time.monotonic`` — the
+    :func:`repro.utils.timing.now` scheduler clock — is *not*
+    guaranteed to share an epoch with it on every platform).
+    """
+    return time.perf_counter()
 
 
 # ----------------------------------------------------------------------

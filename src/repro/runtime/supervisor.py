@@ -31,6 +31,8 @@ boundary, final checkpoints and a resumable
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import multiprocessing
 import time
 from dataclasses import dataclass, field
@@ -39,6 +41,7 @@ from typing import Any, Sequence
 
 from .. import obs
 from ..errors import ConfigurationError
+from ..obs.collect import CampaignCollection, TraceContext, collect_campaign
 from ..resilience.backoff import BackoffPolicy, CircuitBreaker
 from ..resilience.failures import FailureKind, StepFailure
 from ..utils.timing import now
@@ -63,6 +66,20 @@ def _mp_context():
         "fork" if "fork" in methods else "spawn")
 
 
+def _campaign_trace_id(specs: Sequence[TaskSpec]) -> str:
+    """Deterministic campaign trace id derived from the task set.
+
+    Depends only on the specs' identities (ids, seeds, sizes) — never
+    on wall clock or pid — so a resumed campaign merges under the same
+    id as its first run.
+    """
+    h = hashlib.sha256()
+    for s in specs:
+        h.update(f"{s.task_id}:{s.n}:{s.n_steps}:{s.seed}:"
+                 f"{s.system_seed}\n".encode())
+    return "campaign-" + h.hexdigest()[:12]
+
+
 @dataclass
 class WorkerRestart:
     """One supervised worker replacement."""
@@ -82,6 +99,9 @@ class SupervisorReport:
     #: Largest heartbeat silence observed on a live worker (seconds).
     max_heartbeat_lag: float = 0.0
     drained: bool = False
+    #: Merged cross-process observability (``None`` when tracing and
+    #: metrics were both off for the campaign).
+    collection: CampaignCollection | None = None
 
     @property
     def digests(self) -> dict[int, str]:
@@ -116,20 +136,32 @@ class _WorkerHandle:
         self.task: TaskRecord | None = None
         self.last_heartbeat = now()
         self.started_at = now()
+        self.obs_t0 = obs.clock()
 
     @property
     def busy(self) -> bool:
         return self.task is not None
 
     def assign(self, record: TaskRecord, fault, *, checkpoint_dir: str,
-               slow_per_step: float, heartbeat_interval: float) -> None:
+               slow_per_step: float, heartbeat_interval: float,
+               obs_config: dict[str, Any] | None = None) -> None:
+        spec = record.spec
+        if obs_config is not None:
+            # stamp the trace context on the wire copy only — the
+            # manifest record (and its determinism contract) stays
+            # exactly as configured
+            spec = dataclasses.replace(
+                spec, trace=TraceContext(trace_id=obs_config["trace_id"],
+                                         task_id=spec.task_id))
         message: dict[str, Any] = {
-            "cmd": "task", "spec": record.spec.to_json(),
+            "cmd": "task", "spec": spec.to_json(),
             "attempt": record.attempts, "safe_mode": record.safe_mode,
             "checkpoint_dir": checkpoint_dir,
             "slow_per_step": slow_per_step,
             "heartbeat_interval": heartbeat_interval,
         }
+        if obs_config is not None:
+            message["obs"] = obs_config
         if fault is not None:
             message["fault"] = {"kind": fault.kind, "at_step": fault.at_step}
         self.conn.send(message)
@@ -138,6 +170,7 @@ class _WorkerHandle:
         self.task = record
         self.last_heartbeat = now()
         self.started_at = now()
+        self.obs_t0 = obs.clock()
 
     def kill(self) -> None:
         if self.process.is_alive():
@@ -241,6 +274,8 @@ class Supervisor:
         self._next_worker_id = 0
         self._ctx = _mp_context()
         self._stop_event = self._ctx.Event()
+        self.trace_id = _campaign_trace_id(
+            [r.spec for r in self.records])
 
     # -- worker pool -----------------------------------------------------
 
@@ -250,10 +285,40 @@ class Supervisor:
         self._next_worker_id += 1
         return handle
 
+    def _obs_config(self) -> dict[str, Any] | None:
+        """Worker observability config (``None`` when obs is off)."""
+        trace = obs.tracing_enabled()
+        metrics = obs.metrics_enabled()
+        if not (trace or metrics):
+            return None
+        tracer = obs.get_tracer()
+        return {"trace": trace, "metrics": metrics,
+                "spool_dir": self.checkpoint_dir,
+                "trace_id": self.trace_id,
+                "max_events": (tracer.max_events if tracer is not None
+                               else 1_000_000)}
+
+    def _task_span(self, handle: _WorkerHandle, outcome: str) -> None:
+        """Record the supervisor-side ``supervisor.task`` interval.
+
+        The worker-side half of the correlation carries the same
+        ``task`` id in schema-v2 event fields; :func:`spans_for_task`
+        joins the two in the merged timeline.
+        """
+        tracer = obs.get_tracer()
+        if tracer is None or handle.task is None:
+            return
+        tracer.add_interval(
+            "supervisor.task", handle.obs_t0,
+            obs.clock() - handle.obs_t0,
+            task=handle.task.spec.task_id, worker=handle.worker_id,
+            attempt=handle.task.attempts - 1, outcome=outcome)
+
     def _replace_worker(self, handle: _WorkerHandle, reason: str,
                         report: SupervisorReport) -> _WorkerHandle | None:
         """Kill (if needed) and respawn a worker; requeue its task."""
         task_id = handle.task.spec.task_id if handle.task else None
+        self._task_span(handle, reason)
         handle.kill()
         report.restarts.append(
             WorkerRestart(handle.worker_id, reason, task_id))
@@ -370,6 +435,15 @@ class Supervisor:
                     handle.shutdown()
                 self._manifest.drained = report.drained = self._draining
                 self._save_manifest()
+        # collect *after* the supervisor.run span closed so the merged
+        # timeline contains it; workers have flushed their spools
+        if obs.tracing_enabled() or obs.metrics_enabled():
+            report.collection = collect_campaign(
+                self.checkpoint_dir,
+                supervisor_tracer=obs.get_tracer(),
+                supervisor_registry=obs.get_metrics(),
+                trace_id=self.trace_id)
+            report.collection.write_defaults(self.checkpoint_dir)
         return report
 
     def request_drain(self) -> None:
@@ -403,7 +477,8 @@ class Supervisor:
                         record, fault, checkpoint_dir=self.checkpoint_dir,
                         slow_per_step=(self.fault_plan.slow_per_step
                                        if self.fault_plan else 0.0),
-                        heartbeat_interval=self.heartbeat_interval)
+                        heartbeat_interval=self.heartbeat_interval,
+                        obs_config=self._obs_config())
 
             busy = [h for h in workers if h.busy]
             if not busy and (self._draining or not self._pending()):
@@ -451,16 +526,20 @@ class Supervisor:
                 record.completed_step = message["completed_step"]
                 record.checkpoint = message["checkpoint"]
             elif kind == "done":
+                ok = self._task_done(record, message, report)
+                self._task_span(handle, "done" if ok else "corrupt-result")
                 handle.task = None
-                if not self._task_done(record, message, report):
+                if not ok:
                     self._task_failed(record, "corrupt-result", report)
             elif kind == "drained":
+                self._task_span(handle, "drained")
                 handle.task = None
                 record.state = TaskState.PENDING
                 record.completed_step = message["completed_step"]
                 record.checkpoint = message["checkpoint"]
                 self._save_manifest()
             elif kind == "failed":
+                self._task_span(handle, "failed")
                 handle.task = None
                 self._task_failed(record, "step-failure", report,
                                   failure=message["failure"])
@@ -487,4 +566,8 @@ class Supervisor:
                 if replacement is not None:
                     workers.append(replacement)
         report.max_heartbeat_lag = max(report.max_heartbeat_lag, max_lag)
-        obs.set_gauge("supervisor_heartbeat_lag_seconds", max_lag)
+        # running max, not instantaneous: the gauge reports the worst
+        # heartbeat silence the campaign ever saw (the quantity the
+        # watchdog thresholds against)
+        obs.set_gauge("supervisor_heartbeat_lag_seconds",
+                      report.max_heartbeat_lag)

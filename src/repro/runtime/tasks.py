@@ -37,6 +37,7 @@ import numpy as np
 
 from ..core.checkpoint import fsync_directory
 from ..errors import ConfigurationError
+from ..obs.collect import TraceContext
 from ..pme.operator import PMEParams
 from ..utils.validation import as_positions
 
@@ -83,6 +84,14 @@ class TaskSpec:
         auto-tunes (deterministic for a given system).
     forces:
         Include the paper's repulsive contact force field.
+    trace:
+        Supervisor-assigned :class:`~repro.obs.collect.TraceContext`
+        stamped on the *wire copy* of the spec when campaign tracing
+        is on (never persisted in the manifest); carries the campaign
+        ``trace_id`` into the worker so cross-process spans stay
+        correlatable.  Deliberately excluded from the determinism
+        contract — a traced and an untraced run of the same spec are
+        bit-identical.
     """
 
     task_id: int
@@ -96,6 +105,7 @@ class TaskSpec:
     e_k: float = 1e-2
     pme: PMEParams | None = None
     forces: bool = True
+    trace: TraceContext | None = None
 
     def __post_init__(self) -> None:
         if self.n_steps < 1:
@@ -114,6 +124,11 @@ class TaskSpec:
         if self.pme is not None:
             d["pme"] = {"xi": self.pme.xi, "r_max": self.pme.r_max,
                         "K": self.pme.K, "p": self.pme.p}
+        if self.trace is not None:
+            d["trace"] = self.trace.to_json()
+        else:
+            # keep manifests byte-stable with the pre-trace layout
+            d.pop("trace", None)
         return d
 
     @classmethod
@@ -121,6 +136,10 @@ class TaskSpec:
         d = dict(d)
         if d.get("pme") is not None:
             d["pme"] = PMEParams(**d["pme"])
+        if d.get("trace") is not None:
+            d["trace"] = TraceContext.from_json(d["trace"])
+        else:
+            d.pop("trace", None)
         return cls(**d)
 
 

@@ -44,6 +44,8 @@ from ..core.checkpoint import (
 from ..core.forces import RepulsiveHarmonic
 from ..core.integrators import MatrixFreeBD
 from ..errors import CheckpointCorruptionError, ConfigurationError
+from ..obs import set_metrics, set_tracer
+from ..obs.collect import SpoolingSession
 from ..resilience.failures import StepFailure
 from ..resilience.policy import RecoveryPolicy
 from ..systems.suspension import make_suspension
@@ -88,8 +90,9 @@ def _build_integrator(spec: TaskSpec, safe_mode: bool):
 def _run_task(conn, stop_event, spec: TaskSpec, attempt: int,
               fault: dict[str, Any] | None, safe_mode: bool,
               checkpoint_dir: str, slow_per_step: float,
-              heartbeat_interval: float) -> None:
-    """Execute one task and report the outcome over ``conn``."""
+              heartbeat_interval: float,
+              session: SpoolingSession | None = None) -> str:
+    """Execute one task; reports over ``conn``, returns the outcome."""
     suspension, integrator = _build_integrator(spec, safe_mode)
     ckpt_path = spec.checkpoint_path(checkpoint_dir)
 
@@ -117,7 +120,7 @@ def _run_task(conn, stop_event, spec: TaskSpec, attempt: int,
         # fault): the checkpointed unwrapped state *is* the final
         # state — reuse its exact bytes, no offset arithmetic
         _send_done(conn, spec, step0, unwrapped0, fault_kind, safe_mode)
-        return
+        return "done"
 
     last_hb = [now()]
     progress = {"gstep": step0}
@@ -142,10 +145,14 @@ def _run_task(conn, stop_event, spec: TaskSpec, attempt: int,
             conn.send({"msg": "checkpoint", "task_id": spec.task_id,
                        "completed_step": gstep, "checkpoint": ckpt_path})
             last_hb[0] = now()
+            if session is not None:
+                session.flush()  # trace/metrics ride the same cadence
         elif now() - last_hb[0] >= heartbeat_interval:
             conn.send({"msg": "heartbeat", "task_id": spec.task_id,
                        "step": gstep})
             last_hb[0] = now()
+            if session is not None:
+                session.flush()
 
     def stop() -> bool:
         # drain only at block boundaries: a checkpoint was just
@@ -161,8 +168,9 @@ def _run_task(conn, stop_event, spec: TaskSpec, attempt: int,
     if stats.stopped_early:
         conn.send({"msg": "drained", "task_id": spec.task_id,
                    "completed_step": gstep, "checkpoint": ckpt_path})
-        return
+        return "drained"
     _send_done(conn, spec, gstep, final_total, fault_kind, safe_mode)
+    return "done"
 
 
 def _send_done(conn, spec: TaskSpec, completed_step: int,
@@ -181,10 +189,24 @@ def worker_main(conn, stop_event, worker_id: int) -> None:
     """Process target: serve task assignments until shutdown.
 
     Must stay importable at module top level (spawn start method).
+
+    With the fork start method the child inherits the supervisor's
+    process-global tracer/registry; those belong to the supervisor's
+    track, so they are cleared immediately.  When an assignment
+    carries an ``obs`` config the worker builds a (process-lifetime)
+    :class:`~repro.obs.collect.SpoolingSession`: the metrics registry
+    accumulates across tasks, each task gets a fresh tracer stamped
+    with the spec's :class:`~repro.obs.collect.TraceContext`, and
+    both are flushed to the campaign directory at the same
+    heartbeat/checkpoint cadence as progress messages — so a SIGKILL
+    loses at most one flush window.
     """
     # the supervisor owns shutdown signals; workers must not race it
     # by reacting to a terminal Ctrl-C delivered to the process group
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    set_tracer(None)
+    set_metrics(None)
+    session: SpoolingSession | None = None
     conn.send({"msg": "ready", "worker_id": worker_id})
     while True:
         try:
@@ -192,17 +214,35 @@ def worker_main(conn, stop_event, worker_id: int) -> None:
         except (EOFError, OSError):
             return  # supervisor died; nothing left to report to
         if message.get("cmd") == "shutdown":
+            if session is not None:
+                session.close()
             return
         spec = TaskSpec.from_json(message["spec"])
+        obs_config = message.get("obs")
+        if obs_config is not None and session is None:
+            session = SpoolingSession(
+                obs_config["spool_dir"], worker_id,
+                trace=obs_config.get("trace", True),
+                metrics=obs_config.get("metrics", True),
+                trace_id=obs_config.get("trace_id"),
+                max_events=obs_config.get("max_events", 1_000_000))
+        if session is not None:
+            session.begin_task(
+                spec.task_id,
+                trace_id=(spec.trace.trace_id if spec.trace is not None
+                          else None))
+        outcome = "failed"
         try:
-            _run_task(conn, stop_event, spec,
-                      attempt=message["attempt"],
-                      fault=message.get("fault"),
-                      safe_mode=message.get("safe_mode", False),
-                      checkpoint_dir=message["checkpoint_dir"],
-                      slow_per_step=message.get("slow_per_step", 0.0),
-                      heartbeat_interval=message.get(
-                          "heartbeat_interval", DEFAULT_HEARTBEAT_INTERVAL))
+            outcome = _run_task(
+                conn, stop_event, spec,
+                attempt=message["attempt"],
+                fault=message.get("fault"),
+                safe_mode=message.get("safe_mode", False),
+                checkpoint_dir=message["checkpoint_dir"],
+                slow_per_step=message.get("slow_per_step", 0.0),
+                heartbeat_interval=message.get(
+                    "heartbeat_interval", DEFAULT_HEARTBEAT_INTERVAL),
+                session=session)
         except Exception as exc:  # noqa: RPR006 - worker boundary: the
             # failure is not swallowed, it crosses the process boundary
             # as a structured StepFailure report for the supervisor
@@ -214,3 +254,6 @@ def worker_main(conn, stop_event, worker_id: int) -> None:
                                failure, message["attempt"])})
             except (OSError, BrokenPipeError):
                 return
+        finally:
+            if session is not None:
+                session.end_task(outcome)

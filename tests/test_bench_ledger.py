@@ -1,0 +1,221 @@
+"""Tests for repro.bench.ledger: history, noise-aware comparison, CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench.ledger import (
+    DEFAULT_REL_TOL,
+    HISTORY_SCHEMA,
+    Timing,
+    append_history,
+    compare_records,
+    extract_timings,
+    load_history,
+    machine_key,
+)
+from repro.cli import main as cli_main
+
+
+def _record(name="blocked_pme", t_seq=4.0, t_block=1.0, std=0.01,
+            machine="x86_64", scale="ci"):
+    """A minimal repro-bench-record/1 document with TimingStats cells."""
+    return {
+        "schema": "repro-bench-record/1",
+        "name": name,
+        "machine": machine,
+        "python": "3.11.7",
+        "scale": scale,
+        "unix_time": 1_700_000_000,
+        "headers": ["s", "t seq (s)", "t block (s)", "speedup"],
+        "rows": [
+            [4, {"best": t_seq, "mean": t_seq * 1.05, "std": std,
+                 "repeats": 3},
+             {"best": t_block, "mean": t_block * 1.05, "std": std,
+              "repeats": 3},
+             t_seq / t_block],
+            [8, t_seq * 2, t_block * 2, t_seq / t_block],
+        ],
+    }
+
+
+class TestExtraction:
+    def test_timing_stats_cells_and_bare_floats(self):
+        timings = extract_timings(_record())
+        # TimingStats dict keeps its spread; bare float under a "(s)"
+        # header degrades to std=0; the speedup column is skipped
+        assert timings["4/t seq (s)"] == Timing(best=4.0, std=0.01,
+                                                repeats=3)
+        assert timings["8/t seq (s)"] == Timing(best=8.0)
+        assert not any("speedup" in key for key in timings)
+        assert len(timings) == 4
+
+    def test_bools_are_not_timings(self):
+        record = {"schema": "repro-bench-record/1", "name": "x",
+                  "headers": ["case", "ok (s)"], "rows": [["a", True]]}
+        assert extract_timings(record) == {}
+
+    def test_profile_document(self):
+        doc = {"schema": "repro-profile/1",
+               "rows": [{"phase": "fft", "measured": 0.25,
+                         "predicted": 0.3},
+                        {"phase": "real", "measured": 1.5,
+                         "predicted": None}]}
+        timings = extract_timings(doc)
+        assert timings["fft/measured (s)"] == Timing(best=0.25)
+        assert timings["real/measured (s)"] == Timing(best=1.5)
+
+    def test_machine_key_axes(self):
+        assert machine_key(_record()) == "x86_64-py3.11.7-ci"
+        assert machine_key(_record(scale="paper")).endswith("-paper")
+        assert machine_key({}) == "unknown-pyunknown-ci"
+
+
+class TestHistory:
+    def test_append_and_filtered_load(self, tmp_path):
+        path = tmp_path / "ledger" / "history.jsonl"  # parent created
+        append_history(_record(), path)
+        append_history(_record(name="ewald"), path)
+        append_history(_record(machine="arm64"), path)
+
+        entries = load_history(path)
+        assert len(entries) == 3
+        assert all(e["schema"] == HISTORY_SCHEMA for e in entries)
+        shard = load_history(path, machine="x86_64-py3.11.7-ci",
+                             name="blocked_pme")
+        assert len(shard) == 1
+        assert shard[0]["timings"]["4/t seq (s)"]["best"] == 4.0
+
+    def test_history_lines_are_stable_json(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        entry = append_history(_record(), path)
+        line = path.read_text().splitlines()[0]
+        assert line == json.dumps(entry, sort_keys=True)
+
+
+class TestCompare:
+    def test_unchanged_rerun_is_ok(self):
+        comparison = compare_records(_record(), _record())
+        assert comparison.ok
+        assert len(comparison.deltas) == 4
+        assert not comparison.regressions and not comparison.missing
+
+    def test_two_x_slowdown_regresses(self):
+        comparison = compare_records(
+            _record(t_seq=8.0, t_block=2.0), _record())
+        assert not comparison.ok
+        assert len(comparison.regressions) == 4
+        delta = comparison.regressions[0]
+        assert delta.ratio == pytest.approx(2.0)
+        assert "REGRESSED" in comparison.format_table()
+
+    def test_noise_widens_threshold(self):
+        # 1.6x slowdown exceeds the +50% budget alone, but a noisy
+        # baseline (std comparable to the mean) absorbs it
+        quiet = compare_records(_record(t_seq=6.4, t_block=1.6),
+                                _record(std=0.0))
+        noisy = compare_records(_record(t_seq=6.4, t_block=1.6),
+                                _record(std=1.0))
+        assert {d.key for d in quiet.regressions} == \
+            {"4/t seq (s)", "4/t block (s)",
+             "8/t seq (s)", "8/t block (s)"}
+        # rows with TimingStats spread now pass; the bare-float row 8
+        # has no recorded std, so it stays regressed
+        assert {d.key for d in noisy.regressions} == \
+            {"8/t seq (s)", "8/t block (s)"}
+
+    def test_missing_baseline_key_fails(self):
+        current = _record()
+        current["rows"] = current["rows"][:1]  # row 8 dropped
+        comparison = compare_records(current, _record())
+        assert not comparison.ok and not comparison.regressions
+        assert set(comparison.missing) == {"8/t seq (s)",
+                                           "8/t block (s)"}
+        assert "MISSING" in comparison.format_table()
+
+    def test_new_keys_are_informational(self):
+        baseline = _record()
+        baseline["rows"] = baseline["rows"][:1]
+        comparison = compare_records(_record(), baseline)
+        assert comparison.ok
+        assert set(comparison.new) == {"8/t seq (s)", "8/t block (s)"}
+
+    def test_cross_machine_flagged(self):
+        comparison = compare_records(_record(machine="arm64"), _record())
+        assert comparison.cross_machine
+        assert "cross-machine" in comparison.format_table()
+
+    def test_explicit_tolerances(self):
+        slow = _record(t_seq=4.0 * (1 + DEFAULT_REL_TOL) * 1.1,
+                       t_block=1.0, std=0.0)
+        strict = compare_records(slow, _record(std=0.0), sigma=0.0)
+        assert not strict.ok
+        lax = compare_records(slow, _record(std=0.0), rel_tol=2.0)
+        assert lax.ok
+
+    def test_zero_baseline_ratio(self):
+        base = _record(t_seq=0.0, std=0.0)
+        comparison = compare_records(_record(std=0.0), base)
+        (delta,) = [d for d in comparison.deltas
+                    if d.key == "4/t seq (s)"]
+        assert delta.ratio == float("inf")
+
+
+class TestCLI:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc) + "\n", encoding="utf-8")
+        return str(path)
+
+    def test_record_appends_history(self, tmp_path, capsys):
+        record = self._write(tmp_path, "BENCH_blocked_pme.json",
+                             _record())
+        history = tmp_path / "history.jsonl"
+        code = cli_main(["bench", "record", record,
+                         "--history", str(history)])
+        assert code == 0
+        assert "blocked_pme [x86_64-py3.11.7-ci] 4 timings" in \
+            capsys.readouterr().out
+        assert len(load_history(history)) == 1
+
+    def test_compare_unchanged_exits_zero(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json", _record())
+        current = self._write(tmp_path, "current.json",
+                              copy.deepcopy(_record()))
+        code = cli_main(["bench", "compare", current,
+                         "--baseline", baseline])
+        assert code == 0
+        assert "ok: 4 timings within threshold" in \
+            capsys.readouterr().out
+
+    def test_compare_slowdown_exits_nonzero(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json", _record())
+        current = self._write(tmp_path, "current.json",
+                              _record(t_seq=8.0, t_block=2.0))
+        code = cli_main(["bench", "compare", current,
+                         "--baseline", baseline])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION: 4 of 4" in out
+
+    def test_compare_missing_exits_nonzero(self, tmp_path, capsys):
+        baseline = self._write(tmp_path, "baseline.json", _record())
+        shrunk = _record()
+        shrunk["rows"] = shrunk["rows"][:1]
+        current = self._write(tmp_path, "current.json", shrunk)
+        code = cli_main(["bench", "compare", current,
+                         "--baseline", baseline])
+        assert code == 1
+        assert "MISSING: 2 baseline timings" in capsys.readouterr().out
+
+    def test_committed_baseline_parses(self):
+        from pathlib import Path
+
+        baseline_path = Path(__file__).resolve().parents[1] / \
+            "benchmarks" / "baselines" / "BENCH_blocked_pme.json"
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        timings = extract_timings(baseline)
+        assert timings, "committed baseline must yield ledger timings"
+        # a self-compare of the committed baseline is always ok
+        assert compare_records(baseline, baseline).ok

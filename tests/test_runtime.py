@@ -407,3 +407,133 @@ def test_worker_restart_budget_aborts(tmp_path):
              max_worker_restarts=0)
     # the manifest still landed on disk for post-mortem
     assert os.path.exists(report_manifest_path(tmp_path))
+
+
+# ----------------------------------------------------------------------
+# cross-process observability collection
+# ----------------------------------------------------------------------
+
+def _metric_value(registry, name, **labels):
+    return registry.counter(name, **labels).value
+
+
+def test_traced_campaign_clean(tmp_path):
+    """A healthy traced campaign merges into one named timeline."""
+    from repro import obs
+    from repro.obs.collect import spans_for_task
+    from repro.obs.schema import validate_file
+
+    specs = _specs(2, n_steps=10)
+    obs.enable()
+    try:
+        report = _run(tmp_path, specs, n_workers=2)
+    finally:
+        obs.disable()
+
+    assert report.manifest.counts() == {"done": 2}
+    collection = report.collection
+    assert collection is not None
+
+    # one process track per participant, supervisor listed first
+    doc = collection.merged.to_chrome_trace()
+    names = [e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"]
+    assert names[0] == "supervisor"
+    assert set(names) == {"supervisor", "worker-0", "worker-1"}
+
+    # supervisor<->worker correlation through the task id
+    correlated = spans_for_task(collection.merged.events,
+                                specs[0].task_id)
+    assert any(e["name"] == "supervisor.task" for e in correlated)
+    assert any(e.get("worker_id") is not None for e in correlated)
+
+    # a clean run counts each BD step exactly once across all workers
+    total_steps = sum(s.n_steps for s in specs)
+    assert _metric_value(collection.metrics,
+                         "bd_steps_total") == total_steps
+
+    # canonical exports landed next to campaign.json and validate
+    d = tmp_path / "c"
+    for filename in ("campaign-trace.json", "campaign-metrics.json",
+                     "campaign-metrics.prom"):
+        path = d / filename
+        assert path.exists()
+        if path.suffix == ".json":
+            validate_file(path)
+
+
+@pytest.mark.faults
+def test_traced_fault_campaign_observability(tmp_path):
+    """Kill + hang faults under tracing: spools survive SIGKILL, the
+    restart/lag metrics carry exact values, and the physics digests
+    stay bit-identical to the same campaign run untraced."""
+    from collections import Counter
+
+    from repro import obs
+
+    def campaign(sub, traced):
+        specs = _specs(3, n_steps=20, n=16)
+        plan = ProcessFaultPlan.from_spec("seed=13,kill=1,hang=1")
+        if traced:
+            obs.enable()
+        try:
+            return _run(tmp_path, specs, sub=sub, n_workers=3,
+                        fault_plan=plan, hang_timeout=1.0,
+                        deadline=8.0)
+        finally:
+            if traced:
+                obs.disable()
+
+    untraced = campaign("untraced", traced=False)
+    traced = campaign("traced", traced=True)
+
+    for report in (untraced, traced):
+        assert report.manifest.counts() == {"done": 3}
+        assert report.restarts  # the kill and the hang both fired
+    # observability must not perturb the physics: recovery schedules
+    # and final positions agree bit-for-bit with the untraced run
+    assert traced.digests == untraced.digests
+
+    collection = traced.collection
+    assert collection is not None
+
+    # restart counters match the supervision log exactly, per reason
+    reasons = Counter(r.reason for r in traced.restarts)
+    assert reasons.get("worker-death") and reasons.get("hang-timeout")
+    for reason, count in reasons.items():
+        assert _metric_value(collection.metrics, "worker_restarts_total",
+                             reason=reason) == count
+
+    # the heartbeat-lag gauge holds the campaign's running maximum,
+    # which the hang fault pushed past the 1 s timeout
+    lag = collection.metrics.gauge(
+        "supervisor_heartbeat_lag_seconds").value
+    assert lag == pytest.approx(traced.max_heartbeat_lag)
+    assert lag >= 1.0
+
+    # every restarted (SIGKILLed or hung) worker's spool was recovered
+    recovered = {s.worker_id for s in collection.spools}
+    assert {r.worker_id for r in traced.restarts} <= recovered
+    assert collection.recovered_events > 0
+
+    # aggregated step counter equals the sum over worker snapshots and
+    # covers every logical step (checkpoint-resume re-runs may add a
+    # few re-counted steps on top)
+    snapshot_total = 0.0
+    for path in (tmp_path / "traced").glob("obs-worker-*.metrics.json"):
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        for family in doc["metrics"]:
+            if family["name"] == "bd_steps_total":
+                snapshot_total += sum(s["value"]
+                                      for s in family["series"])
+    merged_steps = _metric_value(collection.metrics, "bd_steps_total")
+    assert merged_steps == snapshot_total
+    assert merged_steps >= sum(
+        t.spec.n_steps for t in traced.manifest.tasks)
+
+    # the merged timeline names a distinct track per worker process
+    doc = collection.merged.to_chrome_trace()
+    names = [e["args"]["name"] for e in doc["traceEvents"]
+             if e["ph"] == "M" and e["name"] == "process_name"]
+    assert names[0] == "supervisor"
+    assert {f"worker-{w}" for w in recovered} <= set(names)
