@@ -38,7 +38,7 @@ def experiment_rows(n=None):
     """One row per method: matvecs, wall-clock, relative error."""
     n = n or (400 if bench_scale() == "paper" else 120)
     susp = cached_suspension(n)
-    mobility = EwaldSummation(susp.box, tol=1e-8).matrix(susp.positions)
+    mobility = EwaldSummation(box=susp.box, tol=1e-8).matrix(susp.positions)
     z = np.random.default_rng(0).standard_normal((3 * n, N_VECTORS))
     ref = dense_sqrt_apply(mobility, z)
     kT, dt = 1.0, 1e-3
@@ -47,12 +47,12 @@ def experiment_rows(n=None):
     rows = []
 
     t = measure_seconds(
-        lambda: CholeskyBrownianGenerator(kT, dt).generate(mobility, z)).best
+        lambda: CholeskyBrownianGenerator(kT=kT, dt=dt).generate(mobility, z)).best
     # Cholesky samples a different (equally valid) square root; its
     # "error" column is not comparable and is reported as n/a
     rows.append(["Cholesky (dense)", "n/a (needs matrix)", t, "n/a"])
 
-    kry = KrylovBrownianGenerator(kT, dt, tol=TOL)
+    kry = KrylovBrownianGenerator(kT=kT, dt=dt, tol=TOL)
     t = measure_seconds(
         lambda: kry.generate(lambda v: mobility @ v, z)).best
     y = kry.generate(lambda v: mobility @ v, z)
@@ -60,7 +60,7 @@ def experiment_rows(n=None):
     rows.append(["block Krylov (paper)", kry.last_info.n_matvecs, t,
                  f"{err:.1e}"])
 
-    cheb = ChebyshevBrownianGenerator(kT, dt, tol=TOL)
+    cheb = ChebyshevBrownianGenerator(kT=kT, dt=dt, tol=TOL)
     t = measure_seconds(
         lambda: cheb.generate(lambda v: mobility @ v, z)).best
     y = cheb.generate(lambda v: mobility @ v, z)
@@ -84,18 +84,18 @@ def main():
 def test_krylov_generator(benchmark):
     n = 120
     susp = cached_suspension(n)
-    mobility = EwaldSummation(susp.box, tol=1e-8).matrix(susp.positions)
+    mobility = EwaldSummation(box=susp.box, tol=1e-8).matrix(susp.positions)
     z = np.random.default_rng(0).standard_normal((3 * n, N_VECTORS))
-    gen = KrylovBrownianGenerator(1.0, 1e-3, tol=TOL)
+    gen = KrylovBrownianGenerator(kT=1.0, dt=1e-3, tol=TOL)
     benchmark(gen.generate, lambda v: mobility @ v, z)
 
 
 def test_chebyshev_generator(benchmark):
     n = 120
     susp = cached_suspension(n)
-    mobility = EwaldSummation(susp.box, tol=1e-8).matrix(susp.positions)
+    mobility = EwaldSummation(box=susp.box, tol=1e-8).matrix(susp.positions)
     z = np.random.default_rng(0).standard_normal((3 * n, N_VECTORS))
-    gen = ChebyshevBrownianGenerator(1.0, 1e-3, tol=TOL)
+    gen = ChebyshevBrownianGenerator(kT=1.0, dt=1e-3, tol=TOL)
     benchmark(gen.generate, lambda v: mobility @ v, z)
 
 

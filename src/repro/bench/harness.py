@@ -3,11 +3,11 @@
 from __future__ import annotations
 
 import math
-import os
 import time
 from functools import lru_cache
 from typing import NamedTuple
 
+from ..config import get_config
 from ..systems.suspension import Suspension, make_suspension
 
 __all__ = ["bench_scale", "cached_suspension", "measure_seconds",
@@ -21,7 +21,7 @@ def bench_scale() -> str:
     ``"paper"`` runs the paper's full problem sizes (set the
     environment variable ``REPRO_BENCH_SCALE=paper``).
     """
-    scale = os.environ.get("REPRO_BENCH_SCALE", "ci").lower()
+    scale = get_config().bench_scale
     if scale not in ("ci", "paper"):
         raise ValueError(
             f"REPRO_BENCH_SCALE must be 'ci' or 'paper', got {scale!r}")

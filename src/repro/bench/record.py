@@ -14,12 +14,12 @@ overridable with ``REPRO_BENCH_OUTDIR``.
 from __future__ import annotations
 
 import json
-import os
 import platform
 import time
 from pathlib import Path
 from typing import Any, Iterable
 
+from ..config import get_config
 from .harness import TimingStats, bench_scale
 
 __all__ = ["record_benchmark", "bench_output_dir"]
@@ -30,7 +30,7 @@ RECORD_SCHEMA = "repro-bench-record/1"
 
 def bench_output_dir() -> Path:
     """Directory receiving ``BENCH_*.json`` (``REPRO_BENCH_OUTDIR``)."""
-    return Path(os.environ.get("REPRO_BENCH_OUTDIR", "."))
+    return Path(get_config().bench_outdir)
 
 
 def _jsonable(value: Any) -> Any:

@@ -72,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "SIGTERM/SIGINT handlers); with --checkpoint the "
                           "run is resumable and exits 0")
     _add_obs_arguments(sim)
+    _add_exec_arguments(sim)
 
     ens = sub.add_parser(
         "ensemble",
@@ -108,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
                           "'seed=7,kill=2,hang=1,slow=1,corrupt=1,"
                           "slow-per-step=0.2'")
     _add_obs_arguments(ens)
+    _add_exec_arguments(ens)
 
     prof = sub.add_parser(
         "profile",
@@ -124,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the machine-readable profile document "
                            "(repro-profile/1; feeds `repro bench`)")
     _add_obs_arguments(prof)
+    _add_exec_arguments(prof)
 
     ana = sub.add_parser("analyze", help="analyze a saved trajectory")
     ana.add_argument("trajectory", help="path to a .npz trajectory")
@@ -167,14 +170,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint", help="physics-aware static analysis (file rules "
-                     "RPR001-RPR010, dataflow rules RPR101-RPR302)",
+                     "RPR001-RPR011, dataflow rules RPR101-RPR302)",
         add_help=False)
     lint.add_argument("lint_args", nargs=argparse.REMAINDER,
                       help="arguments forwarded to repro-lint "
                            "(see `repro lint --help`)")
 
+    conf = sub.add_parser(
+        "config", help="runtime configuration (REPRO_* knobs)")
+    conf_sub = conf.add_subparsers(dest="config_command", required=True)
+    cshow = conf_sub.add_parser(
+        "show", help="print the resolved configuration with provenance "
+                     "(env > CLI > defaults)")
+    cshow.add_argument("--format", choices=["table", "json"],
+                       default="table")
+
     sub.add_parser("info", help="version and environment summary")
     return parser
+
+
+def _add_exec_arguments(sub_parser: argparse.ArgumentParser) -> None:
+    sub_parser.add_argument(
+        "--backend", choices=["serial", "threads", "processes"],
+        default=None,
+        help="execution backend for the PME pipeline (default: "
+             "REPRO_BACKEND or serial)")
+    sub_parser.add_argument(
+        "--exec-workers", type=int, default=None, metavar="N",
+        help="worker count for parallel backends (0 = one per CPU; "
+             "default: REPRO_EXEC_WORKERS)")
 
 
 def _add_obs_arguments(sub_parser: argparse.ArgumentParser) -> None:
@@ -516,6 +540,34 @@ def _cmd_info(_args) -> int:
     return 0
 
 
+def _cmd_config(args) -> int:
+    from . import config as config_mod
+
+    if args.format == "json":
+        import json
+
+        print(json.dumps(config_mod.get_config().as_dict(), indent=2))
+        return 0
+    rows = list(config_mod.config_table())
+    widths = [max(len(r[i]) for r in rows + [("field", "env var",
+                                              "value", "source")])
+              for i in range(4)]
+    header = ("field", "env var", "value", "source")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return 0
+
+
+def _apply_exec_overrides(args) -> None:
+    """Install ``--backend``/``--exec-workers`` as CLI-level config."""
+    from . import config as config_mod
+
+    config_mod.set_cli_overrides(
+        backend=getattr(args, "backend", None),
+        exec_workers=getattr(args, "exec_workers", None))
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     argv = sys.argv[1:] if argv is None else list(argv)
@@ -524,6 +576,7 @@ def main(argv: list[str] | None = None) -> int:
         # refuses a leading optional such as `repro lint --help`.
         return _cmd_lint_argv(argv[1:])
     args = build_parser().parse_args(argv)
+    _apply_exec_overrides(args)
     handlers = {
         "simulate": _cmd_simulate,
         "ensemble": _cmd_ensemble,
@@ -532,6 +585,7 @@ def main(argv: list[str] | None = None) -> int:
         "tune": _cmd_tune,
         "bench": _cmd_bench,
         "lint": _cmd_lint,
+        "config": _cmd_config,
         "info": _cmd_info,
     }
     return handlers[args.command](args)

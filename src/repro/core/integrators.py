@@ -114,13 +114,18 @@ class BrownianDynamicsBase(ABC):
         (default) keeps the fail-fast behaviour; with a policy active
         but no failures occurring, trajectories are bit-identical to
         the unguarded loop.
+    context:
+        Optional :class:`~repro.exec.ExecutionContext` threaded into
+        the mobility representation (the matrix-free path parallelizes
+        PME applications on its workers; results stay bit-identical
+        across backends).  ``None`` uses the process default.
     """
 
     def __init__(self, box: Box, fluid: FluidParams = REDUCED,
                  force_field: ForceField | None = None, dt: float = 1e-3,
                  lambda_rpy: int = 10,
                  seed: int | np.random.Generator | None = 0,
-                 recovery: RecoveryPolicy | None = None):
+                 recovery: RecoveryPolicy | None = None, context=None):
         if dt <= 0:
             raise ConfigurationError(f"dt must be positive, got {dt}")
         if lambda_rpy < 1:
@@ -134,6 +139,7 @@ class BrownianDynamicsBase(ABC):
         self.rng = (seed if isinstance(seed, np.random.Generator)
                     else np.random.default_rng(seed))
         self.recovery = recovery
+        self.context = context
         #: Cumulative dt backoff scale (1.0 = nominal time step).
         self._dt_scale = 1.0
         self._clean_steps = 0
@@ -350,9 +356,11 @@ class EwaldBD(BrownianDynamicsBase):
                  lambda_rpy: int = 10,
                  seed: int | np.random.Generator | None = 0,
                  ewald_tol: float = 1e-6, xi: float | None = None,
-                 recovery: RecoveryPolicy | None = None):
+                 recovery: RecoveryPolicy | None = None, context=None):
+        # the dense path has no parallel stage; context accepted (and
+        # stored) so Simulation can forward it uniformly
         super().__init__(box, fluid, force_field, dt, lambda_rpy, seed,
-                         recovery=recovery)
+                         recovery=recovery, context=context)
         self._summation = EwaldSummation(box=box, fluid=fluid, xi=xi,
                                          tol=ewald_tol)
         self._generator = CholeskyBrownianGenerator(kT=fluid.kT, dt=dt)
@@ -416,9 +424,9 @@ class MatrixFreeBD(BrownianDynamicsBase):
                  pme_params: PMEParams | None = None, target_ep: float = 1e-3,
                  e_k: float = 1e-2, store_p: bool = True,
                  neighbor_backend: str = "cells", max_krylov_iter: int = 200,
-                 recovery: RecoveryPolicy | None = None):
+                 recovery: RecoveryPolicy | None = None, context=None):
         super().__init__(box, fluid, force_field, dt, lambda_rpy, seed,
-                         recovery=recovery)
+                         recovery=recovery, context=context)
         self.pme_params = pme_params
         self.target_ep = float(target_ep)
         self.store_p = bool(store_p)
@@ -437,7 +445,7 @@ class MatrixFreeBD(BrownianDynamicsBase):
         self._operator = PMEOperator(
             positions, self.box, self.pme_params, fluid=self.fluid,
             neighbor_backend=self.neighbor_backend, store_p=self.store_p,
-            cache=self._mobility_cache)
+            cache=self._mobility_cache, context=self.context)
 
     def _apply_mobility(self, forces_flat: np.ndarray) -> np.ndarray:
         return self._operator.apply(forces_flat)

@@ -20,16 +20,15 @@ solver may receive — a conforming operator, a dense matrix, or a bare
 block solvers issue *one* batched apply per iteration regardless of
 what the caller handed them.
 
-Calling an operator directly (``op(f)``) is deprecated in favour of
-``op.apply(f)``; the ``__call__`` shims emit a
-:class:`DeprecationWarning` (see ``docs/api.md`` for the migration
-guide).
+Calling an operator directly (``op(f)``) was deprecated in favour of
+``op.apply(f)`` and the deprecation cycle is now complete: the
+``__call__`` shims raise :class:`TypeError` with the migration hint
+(see ``docs/api.md`` for the migration guide).
 """
 
 from __future__ import annotations
 
-import warnings
-from typing import Any, Callable, Protocol, runtime_checkable
+from typing import Any, Callable, NoReturn, Protocol, runtime_checkable
 
 import numpy as np
 from scipy.sparse.linalg import LinearOperator
@@ -39,17 +38,21 @@ __all__ = [
     "DenseMobilityMatrix",
     "CallableMobility",
     "as_mobility",
-    "warn_call_shim",
+    "reject_call_shim",
 ]
 
 
-def warn_call_shim(cls_name: str) -> None:
-    """Emit the ``operator(f)`` deprecation warning (shared shim)."""
-    warnings.warn(
-        f"calling {cls_name} instances directly is deprecated; use "
+def reject_call_shim(cls_name: str) -> NoReturn:
+    """Raise the ``operator(f)`` removal error (shared shim).
+
+    The ``DeprecationWarning`` period for direct calls ended with the
+    execution-context release; direct calls now fail loudly with the
+    same migration hint the warning used to carry.
+    """
+    raise TypeError(
+        f"calling {cls_name} instances directly was removed; use "
         f".apply(f) for single vectors or .apply_block(F) for "
-        f"multi-RHS blocks (see docs/api.md)",
-        DeprecationWarning, stacklevel=3)
+        f"multi-RHS blocks (see docs/api.md)")
 
 
 @runtime_checkable
@@ -112,8 +115,7 @@ class DenseMobilityMatrix:
                               dtype=np.float64)
 
     def __call__(self, forces: Any) -> np.ndarray:
-        warn_call_shim(type(self).__name__)
-        return self.apply(forces)
+        reject_call_shim(type(self).__name__)
 
 
 class CallableMobility:

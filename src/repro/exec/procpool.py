@@ -1,0 +1,316 @@
+"""Persistent process pool with shared-memory operands.
+
+The ``processes`` backend of :class:`repro.exec.context.ExecutionContext`
+cannot ship NumPy operands through pickles on every stage — the PME
+apply would spend more time serializing than computing.  Instead the
+pool mirrors the paper's static-partition design (Section IV.E): the
+large arrays (interpolation weights/columns, particle operands, the
+``(lanes, K^3)`` mesh, the BCSR payload) live in
+``multiprocessing.shared_memory`` segments registered once under
+stable string keys, and per-stage messages carry only segment *tokens*
+plus index ranges.  Workers attach lazily and cache their attachments,
+so steady-state traffic is a few hundred bytes per stage.
+
+Three structured jobs are served (mirroring the compiled entry points
+of :mod:`repro.sparse.kernels`, with NumPy fallbacks preserving the
+exact accumulation order):
+
+* ``spread`` — scatter-add of per-block particle ranges of one color
+  onto the shared mesh (disjoint writes by the coloring invariant, so
+  concurrent workers use plain stores);
+* ``interp`` — gather of a particle row range from the shared mesh;
+* ``spmm``   — BCSR SpMM over a block-row range.
+
+Workers are started with the ``fork`` method when available (inherits
+the compiled-kernel memo and environment); ``spawn`` works too because
+the worker target and job table are module-level.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from multiprocessing import shared_memory
+from typing import Any, Callable
+
+import numpy as np
+
+from ..sparse import kernels
+
+__all__ = ["ProcPool", "ShmToken"]
+
+#: Picklable handle to a shared segment: (shm name, shape, dtype str).
+ShmToken = tuple[str, tuple[int, ...], str]
+
+
+def _attach(token: ShmToken,
+            cache: dict[str, shared_memory.SharedMemory]) -> np.ndarray:
+    """Worker-side view of a shared segment (attachments cached)."""
+    name, shape, dtype = token
+    shm = cache.get(name)
+    if shm is None:
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            # the parent owns the segment's lifetime; unregister the
+            # attachment so the child's resource tracker does not warn
+            # about (or worse, unlink) a segment it does not own
+            from multiprocessing import resource_tracker
+            resource_tracker.unregister(shm._name,  # type: ignore[attr-defined]
+                                        "shared_memory")
+        except (AttributeError, KeyError, ValueError, OSError):
+            pass  # tracker API is CPython-internal; a failed unregister
+            #     # only risks a spurious warning at interpreter exit
+        cache[name] = shm
+    return np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+
+# ----------------------------------------------------------------------
+# worker-side jobs
+# ----------------------------------------------------------------------
+
+def _job_spread(args: dict[str, Any], attach: Callable[..., np.ndarray]
+                ) -> None:
+    data = attach(args["data"])
+    cols = attach(args["cols"])
+    idx = attach(args["idx"])
+    vals = attach(args["vals"])
+    out = attach(args["out"])
+    pcube = data.shape[1]
+    lanes = vals.shape[1]
+    k3 = out.shape[1]
+    kern = kernels.spread_kernel()
+    for lo, hi in args["ranges"]:
+        if hi <= lo:
+            continue
+        if kern is not None:
+            kern(hi - lo, idx[lo:hi], data, cols, pcube, vals, lanes,
+                 out, k3)
+        else:
+            sub = idx[lo:hi]
+            contrib = data[sub][:, :, None] * vals[sub][:, None, :]
+            np.add.at(out.T, cols[sub].ravel(),
+                      contrib.reshape(-1, lanes))
+
+
+def _job_interp(args: dict[str, Any], attach: Callable[..., np.ndarray]
+                ) -> None:
+    data = attach(args["data"])
+    cols = attach(args["cols"])
+    mesh = attach(args["mesh"])
+    out = attach(args["out"])
+    pcube = data.shape[1]
+    lanes, k3 = mesh.shape
+    n = out.shape[1]
+    kern = kernels.interp_kernel()
+    for lo, hi in args["ranges"]:
+        if hi <= lo:
+            continue
+        if kern is not None:
+            kern(lo, hi, data, cols, pcube, mesh, k3, lanes, n, out)
+        else:
+            out[:, lo:hi] = np.einsum("ie,bie->bi", data[lo:hi],
+                                      mesh[:, cols[lo:hi]])
+
+
+def _job_spmm(args: dict[str, Any], attach: Callable[..., np.ndarray]
+              ) -> None:
+    indptr = attach(args["indptr"])
+    indices = attach(args["indices"])
+    blocks = attach(args["blocks"])
+    x = attach(args["x"])
+    y = attach(args["y"])
+    s = x.shape[2]
+    kern = kernels.spmm_range_kernel()
+    if kern is None:
+        raise RuntimeError(
+            "spmm job dispatched to a worker without the native kernel")
+    for lo, hi in args["ranges"]:
+        if hi > lo:
+            kern(lo, hi, indptr, indices, blocks, x, y, s)
+
+
+_JOBS: dict[str, Callable[[dict[str, Any], Callable[..., np.ndarray]],
+                          None]] = {
+    "spread": _job_spread,
+    "interp": _job_interp,
+    "spmm": _job_spmm,
+}
+
+
+def _proc_worker_main(conn: Any) -> None:
+    """Worker loop: attach segments lazily, serve jobs until shutdown."""
+    cache: dict[str, shared_memory.SharedMemory] = {}
+
+    def attach(token: ShmToken) -> np.ndarray:
+        return _attach(token, cache)
+
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message.get("cmd") == "shutdown":
+                return
+            try:
+                _JOBS[message["job"]](message, attach)
+                conn.send({"ok": True})
+            except Exception as exc:  # noqa: RPR006 - process boundary:
+                # the failure crosses back to the parent as a classified
+                # report (same contract as the ensemble workers)
+                from ..resilience.failures import StepFailure
+                failure = StepFailure.from_exception(exc, attempt=0)
+                try:
+                    conn.send({"ok": False,
+                               "error": f"{failure.kind.value}: {exc}"})
+                except (OSError, BrokenPipeError):
+                    return
+    finally:
+        for shm in cache.values():
+            shm.close()
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+class ProcPool:
+    """Parent-side handle to the persistent worker processes.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker processes (each holds one duplex pipe).
+    """
+
+    def __init__(self, n_workers: int):
+        self.n_workers = max(1, int(n_workers))
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        self._conns = []
+        self._procs = []
+        for _ in range(self.n_workers):
+            parent, child = ctx.Pipe(duplex=True)
+            proc = ctx.Process(target=_proc_worker_main, args=(child,),
+                               daemon=True)
+            proc.start()
+            child.close()
+            self._conns.append(parent)
+            self._procs.append(proc)
+        #: key -> (SharedMemory, shape, dtype str); parent owns lifetime.
+        self._segments: dict[str, tuple[shared_memory.SharedMemory,
+                                        tuple[int, ...], str]] = {}
+        self._closed = False
+
+    # -- shared segments ------------------------------------------------
+
+    def share(self, key: str, array: np.ndarray) -> ShmToken:
+        """Publish ``array`` under ``key``; returns the segment token.
+
+        Re-sharing the same key with matching shape/dtype copies the
+        new contents into the existing segment (workers keep their
+        attachment); a shape/dtype change allocates a fresh segment.
+        """
+        array = np.ascontiguousarray(array)
+        dtype = array.dtype.str
+        entry = self._segments.get(key)
+        if entry is not None and (entry[1] != array.shape
+                                  or entry[2] != dtype):
+            entry[0].close()
+            entry[0].unlink()
+            entry = None
+            del self._segments[key]
+        if entry is None:
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, array.nbytes))
+            entry = (shm, array.shape, dtype)
+            self._segments[key] = entry
+        view = np.ndarray(array.shape, dtype=array.dtype,
+                          buffer=entry[0].buf)
+        view[...] = array
+        return (entry[0].name, entry[1], entry[2])
+
+    def output(self, key: str, shape: tuple[int, ...],
+               dtype: Any = np.float64) -> ShmToken:
+        """Ensure an output segment exists; contents are unspecified."""
+        dtype = np.dtype(dtype)
+        entry = self._segments.get(key)
+        if entry is not None and (entry[1] != tuple(shape)
+                                  or entry[2] != dtype.str):
+            entry[0].close()
+            entry[0].unlink()
+            del self._segments[key]
+            entry = None
+        if entry is None:
+            nbytes = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+            shm = shared_memory.SharedMemory(create=True,
+                                             size=max(1, nbytes))
+            entry = (shm, tuple(shape), dtype.str)
+            self._segments[key] = entry
+        return (entry[0].name, entry[1], entry[2])
+
+    def view(self, key: str) -> np.ndarray:
+        """Parent-side ndarray view of a registered segment."""
+        shm, shape, dtype = self._segments[key]
+        return np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf)
+
+    # -- dispatch -------------------------------------------------------
+
+    def run(self, job: str, per_worker: list[dict[str, Any] | None],
+            **shared: Any) -> None:
+        """Run one job on every worker with non-``None`` args; barrier.
+
+        ``per_worker[w]`` is merged over ``shared`` to form worker
+        ``w``'s message.  Raises ``RuntimeError`` if any worker reports
+        an error or died.
+        """
+        if self._closed:
+            raise RuntimeError("ProcPool is closed")
+        active = []
+        for w, args in enumerate(per_worker):
+            if args is None:
+                continue
+            message = {"job": job, **shared, **args}
+            self._conns[w].send(message)
+            active.append(w)
+        errors = []
+        for w in active:
+            try:
+                reply = self._conns[w].recv()
+            except (EOFError, OSError):
+                errors.append(f"worker {w} died")
+                continue
+            if not reply.get("ok"):
+                errors.append(f"worker {w}: {reply.get('error')}")
+        if errors:
+            raise RuntimeError("; ".join(errors))
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Shut down workers and release every shared segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send({"cmd": "shutdown"})
+            except (OSError, BrokenPipeError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+        for shm, _, _ in self._segments.values():
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments.clear()

@@ -3,7 +3,7 @@
 Two cooperating layers keep the package's array invariants honest:
 
 * **Static layer** — an AST linter (``python -m repro.lint``, ``repro
-  lint``, ``repro-lint``) with per-file rules RPR001-RPR010 targeting
+  lint``, ``repro-lint``) with per-file rules RPR001-RPR011 targeting
   the failure modes of fast Brownian dynamics codes (unvalidated
   position arrays, global RNG state, unguarded Cholesky
   factorizations, missing minimum-image folds, dtype drift, swallowed

@@ -25,11 +25,11 @@ from __future__ import annotations
 
 import functools
 import inspect
-import os
 from typing import Any, Callable
 
 import numpy as np
 
+from ..config import get_config
 from ..errors import ConfigurationError
 from ..utils import validation
 
@@ -52,13 +52,14 @@ SPD_CHECK_MAX_DIM = 900
 
 
 def check_level() -> int:
-    """The active contract level (re-read from the environment per call).
+    """The active contract level (re-resolved per call).
 
-    The environment lookup is a dictionary access — cheap enough to do
-    on every decorated call, which lets tests and long-running processes
-    flip ``REPRO_CHECKS`` without re-importing the package.
+    The level comes from :func:`repro.config.get_config`, which
+    re-reads the environment fingerprint on every call — cheap enough
+    to do on every decorated call, which lets tests and long-running
+    processes flip ``REPRO_CHECKS`` without re-importing the package.
     """
-    raw = os.environ.get("REPRO_CHECKS", "1").strip().lower()
+    raw = get_config().checks
     try:
         return _LEVEL_NAMES[raw]
     except KeyError:

@@ -1,4 +1,4 @@
-"""The built-in physics-aware lint rules (RPR001 .. RPR010).
+"""The built-in physics-aware lint rules (RPR001 .. RPR011).
 
 Each rule encodes an invariant the paper's algorithms depend on but the
 Python type system cannot express — see ``docs/static_analysis.md`` for
@@ -532,3 +532,55 @@ class SwallowedStepFailureRule(Rule):
                 if name in cls._TAXONOMY_CALLS:
                     return True
         return False
+
+
+@register
+class AdHocWorkerPoolRule(Rule):
+    """RPR011: worker pool constructed outside the execution layer."""
+
+    meta = RuleMeta(
+        id="RPR011", name="ad-hoc-worker-pool",
+        summary="direct ThreadPoolExecutor / ProcessPoolExecutor / "
+                "multiprocessing Pool construction outside repro.exec",
+        rationale="The ExecutionContext owns worker resources: it sizes "
+                  "pools against the configured worker budget (so "
+                  "ensemble workers don't oversubscribe the machine), "
+                  "reuses them across applications instead of paying "
+                  "thread start-up per call, and closes them "
+                  "deterministically.  A pool constructed elsewhere "
+                  "escapes all three guarantees.")
+
+    #: Constructor names that allocate a worker pool.
+    _POOL_NAMES = frozenset({"ThreadPoolExecutor", "ProcessPoolExecutor"})
+
+    @staticmethod
+    def _exempt(display_path: str) -> bool:
+        parts = display_path.replace("\\", "/").split("/")
+        filename = parts[-1] if parts else ""
+        if filename.startswith("test_") or "tests" in parts:
+            return True
+        return "exec" in parts
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        if self._exempt(ctx.display_path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _last_attr(node.func)
+            dotted = _dotted(node.func)
+            pool = None
+            if name in self._POOL_NAMES:
+                pool = name
+            elif name == "Pool" and dotted is not None and "." in dotted:
+                # multiprocessing.Pool / mp.Pool / ctx.Pool(...)
+                pool = dotted
+            if pool is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"worker pool {pool}(...) constructed outside "
+                    "repro.exec",
+                    hint="request workers from an "
+                         "repro.exec.ExecutionContext (run_tasks / "
+                         "thread_pool / proc_pool) so sizing, reuse and "
+                         "shutdown stay centralized")

@@ -3,21 +3,26 @@
 The point of the 8-color schedule (Section IV.B.2) is that within one
 color, blocks write disjoint mesh regions, so real threads can scatter
 *without atomics*.  :class:`ThreadedSpreader` demonstrates exactly
-that: each color stage fans its blocks out over a
-``concurrent.futures.ThreadPoolExecutor`` and every worker writes its
+that: each color stage fans its blocks out over the worker pool of an
+:class:`~repro.exec.ExecutionContext` and every worker writes its
 block's mesh points with plain stores.  The result is bit-identical to
 the sparse-matrix spreading (tested), which is the correctness property
 a multicore C implementation relies on.
 
+The pool lives on the execution context, not here: historically the
+spreader created (and tore down) a ``ThreadPoolExecutor`` on *every*
+``spread`` call, paying thread start-up per application.  Now it either
+borrows the caller's context or owns a private ``threads`` context for
+its lifetime — closed idempotently via :meth:`ThreadedSpreader.close`
+or the context-manager protocol.
+
 (On CPython, NumPy's scatter kernels hold the GIL for much of the
-work, so this is a *correctness* demonstration of the schedule rather
-than a speedup on this interpreter — the speedup claim lives in the
-performance model.)
+work, so this path is a *correctness* demonstration of the schedule;
+the measured speedup lives in the GIL-releasing C kernels driven by
+:class:`~repro.parallel.engine.ColoredPMEEngine`.)
 """
 
 from __future__ import annotations
-
-from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -35,13 +40,26 @@ class ThreadedSpreader(ColoredSpreader):
     positions, box, K, p:
         As for :class:`~repro.parallel.coloring.ColoredSpreader`.
     n_workers:
-        Threads per color stage.
+        Threads per color stage (ignored when ``context`` is given).
+    context:
+        Optional :class:`~repro.exec.ExecutionContext` to borrow the
+        worker pool from.  When omitted, the spreader owns a private
+        ``threads`` context (and is responsible for closing it).
     """
 
     def __init__(self, positions, box: Box, K: int, p: int,
-                 n_workers: int = 4):
+                 n_workers: int = 4, context=None):
         super().__init__(positions, box, K, p)
-        self.n_workers = max(1, int(n_workers))
+        if context is None:
+            from ..exec import ExecutionContext  # deferred: import cycle
+            self.context = ExecutionContext(backend="threads",
+                                            workers=max(1, int(n_workers)))
+            self._owns_context = True
+        else:
+            self.context = context
+            self._owns_context = False
+        self.n_workers = self.context.workers
+        self._closed = False
         # pre-split every color group by block id so stages only submit
         self._block_groups: list[list[np.ndarray]] = []
         for group in self._groups:
@@ -59,27 +77,46 @@ class ThreadedSpreader(ColoredSpreader):
                 [group[bid == b] for b in np.unique(bid)])
 
     def spread(self, values: np.ndarray) -> np.ndarray:
-        """Spread with one thread pool per color stage.
+        """Spread through the context's persistent worker pool.
 
-        Within a stage every submitted block writes a disjoint set of
-        mesh points (the coloring invariant), so the concurrent plain
-        scatter below is race-free by construction.
+        Within a color stage every dispatched block writes a disjoint
+        set of mesh points (the coloring invariant), so the concurrent
+        plain scatter below is race-free by construction.
         """
+        if self._closed:
+            raise RuntimeError("ThreadedSpreader is closed")
         values = np.asarray(values, dtype=np.float64)
         flat = values.ndim == 1
         vals = values[:, None] if flat else values
         out = np.zeros((self.K ** 3, vals.shape[1]))
 
-        def work(particle_idx: np.ndarray) -> None:
-            contrib = (self._data[particle_idx][:, :, None]
-                       * vals[particle_idx][:, None, :])
-            np.add.at(out, self._cols[particle_idx].ravel(),
-                      contrib.reshape(-1, vals.shape[1]))
+        def make_task(particle_idx: np.ndarray):
+            def task() -> None:
+                contrib = (self._data[particle_idx][:, :, None]
+                           * vals[particle_idx][:, None, :])
+                np.add.at(out, self._cols[particle_idx].ravel(),
+                          contrib.reshape(-1, vals.shape[1]))
+            return task
 
-        with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
-            for blocks in self._block_groups:   # color stages: sequential
-                if not blocks:
-                    continue
-                # blocks within a stage: concurrent
-                list(pool.map(work, blocks))
+        for blocks in self._block_groups:       # color stages: sequential
+            if not blocks:
+                continue
+            # blocks within a stage: concurrent on the context's pool
+            self.context.run_tasks([make_task(b) for b in blocks],
+                                   stage="spread")
         return out[:, 0] if flat else out
+
+    def close(self) -> None:
+        """Release the worker pool (idempotent; borrowed contexts are
+        left open for their owner)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_context:
+            self.context.close()
+
+    def __enter__(self) -> "ThreadedSpreader":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

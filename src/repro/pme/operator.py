@@ -127,6 +127,19 @@ class PMEOperator:
         workspaces) across operator rebuilds — the mobility-reuse
         optimization of Algorithm 2, where a fresh operator is built
         every ``lambda_RPY`` steps.
+    context:
+        Optional :class:`~repro.exec.ExecutionContext`.  When attached
+        (any backend, including an explicit ``serial`` one),
+        :meth:`apply_block` runs the *colored* deterministic pipeline:
+        spreading/interpolation execute per the Section IV.B.2
+        independent-set schedule on the context's workers, the stacked
+        FFTs use ``workers=``-parallel :mod:`scipy.fft`, and the
+        real-space SpMM is chunked across workers — with results
+        bit-identical across the ``serial``/``threads``/``processes``
+        backends for a fixed kernel configuration.  ``None`` (default)
+        uses the process default from :func:`repro.exec.default_context`
+        (which is ``None`` — the legacy single-threaded path — unless
+        the runtime config selects a parallel backend).
 
     Notes
     -----
@@ -139,13 +152,17 @@ class PMEOperator:
     def __init__(self, positions, box: Box, params: PMEParams,
                  fluid: FluidParams = REDUCED, neighbor_backend: str = "cells",
                  store_p: bool = True, real_engine: str = "scipy",
-                 cache: MobilityCache | None = None):
+                 cache: MobilityCache | None = None, context=None):
+        from ..exec import default_context  # deferred: import cycle
         self.positions = as_positions(positions).copy()
         self.n = self.positions.shape[0]
         self.box = box
         self.params = params
         self.fluid = fluid
         self.cache = cache
+        self.context = context if context is not None else default_context()
+        self._exec_args = ({} if self.context is None
+                           else self.context.span_args())
         self.mesh = (cache.mesh(box, params.K) if cache is not None
                      else Mesh(box, params.K))
         self.store_p = bool(store_p)
@@ -156,11 +173,19 @@ class PMEOperator:
         #: keyed by lane count (allocated on first apply_block).
         self._workspaces: dict[tuple[int, int, int], dict] = {}
 
-        with self.timers.phase("construct_p"):
+        with self.timers.phase("construct_p", **self._exec_args):
             self.interp = (InterpolationMatrix(self.positions, box,
                                                params.K, params.p,
                                                kind=params.interpolation)
                            if store_p else None)
+        self.engine = None
+        if self.context is not None and self.interp is not None:
+            from ..parallel.engine import ColoredPMEEngine  # deferred cycle
+            with self.timers.phase("construct_engine", **self._exec_args):
+                self.engine = ColoredPMEEngine(
+                    self.positions, box, params.K, params.p,
+                    weights=self.interp.weights,
+                    columns=self.interp.columns, context=self.context)
         if cache is not None:
             self.influence = cache.influence(
                 self.mesh, params.xi, params.p, fluid.radius,
@@ -202,9 +227,8 @@ class PMEOperator:
         return out[:, 0] if flat else out
 
     def __call__(self, forces) -> np.ndarray:
-        from ..core.mobility import warn_call_shim  # deferred: import cycle
-        warn_call_shim(type(self).__name__)
-        return self.apply(forces)
+        from ..core.mobility import reject_call_shim  # deferred: import cycle
+        reject_call_shim(type(self).__name__)
 
     def _workspace(self, lanes: int) -> dict:
         """Batched-pipeline scratch arrays for ``lanes = 3 s``."""
@@ -246,6 +270,14 @@ class PMEOperator:
         when one is attached, so repeated block applications (block
         Lanczos iterations, consecutive mobility updates) allocate
         nothing.
+
+        With an :class:`~repro.exec.ExecutionContext` attached, the
+        spread/interpolate stages run through the colored
+        :class:`~repro.parallel.engine.ColoredPMEEngine`, the stacked
+        transforms use ``workers=``-parallel :mod:`scipy.fft`, and the
+        real-space SpMM is chunked across the workers.  Without one
+        (the default), this is the legacy single-threaded pipeline,
+        byte-for-byte.
         """
         f, flat = as_force_block(forces, self.n)
         f = np.ascontiguousarray(f)
@@ -254,10 +286,13 @@ class PMEOperator:
         lanes = 3 * s                       # lane b = component*s + vector
         ws = self._workspace(lanes)
         g, spec = ws["mesh"], ws["spec"]
+        ctx, xargs = self.context, self._exec_args
 
         fm = f.reshape(n, 3, s).reshape(n, lanes)
-        with self.timers.phase("spread", vectors=s):
-            if self.interp is not None:
+        with self.timers.phase("spread", vectors=s, **xargs):
+            if self.engine is not None:
+                self.engine.spread_batch(fm, out=g)
+            elif self.interp is not None:
                 self.interp.spread_batch(fm, out=g)
             else:
                 gm = spread_on_the_fly(self.positions, self.box, K,
@@ -268,22 +303,35 @@ class PMEOperator:
                     g[:, lo:hi] = gm[lo:hi].T
 
         gl = g.reshape(lanes, K, K, K)
-        with self.timers.phase("fft", vectors=s):
-            for b in range(lanes):
-                _rfftn_into(gl[b], spec[b])
+        with self.timers.phase("fft", vectors=s, **xargs):
+            if ctx is not None:
+                # one stacked r2c pass over all lanes; pocketfft splits
+                # the independent line transforms across workers, which
+                # is bitwise deterministic in the worker count
+                spec[...] = sfft.rfftn(gl, axes=(1, 2, 3),
+                                       workers=ctx.fft_workers)
+            else:
+                for b in range(lanes):
+                    _rfftn_into(gl[b], spec[b])
 
-        with self.timers.phase("influence", vectors=s):
+        with self.timers.phase("influence", vectors=s, **xargs):
             self.influence.apply_batch(spec.reshape((3, s) + self.mesh.rshape))
 
-        with self.timers.phase("ifft", vectors=s):
+        with self.timers.phase("ifft", vectors=s, **xargs):
             # decomposed inverse: batched c2c over the two full axes,
             # then one batched c2r transform on the half axis
-            tmp = sfft.ifftn(spec, axes=(1, 2), overwrite_x=True)
-            u = sfft.irfft(tmp, n=K, axis=3, overwrite_x=True)
+            fft_workers = 1 if ctx is None else ctx.fft_workers
+            tmp = sfft.ifftn(spec, axes=(1, 2), overwrite_x=True,
+                             workers=fft_workers)
+            u = sfft.irfft(tmp, n=K, axis=3, overwrite_x=True,
+                           workers=fft_workers)
 
-        with self.timers.phase("interpolate", vectors=s):
+        with self.timers.phase("interpolate", vectors=s, **xargs):
             ub = u.reshape(lanes, K ** 3)
-            if self.interp is not None:
+            if self.engine is not None:
+                um = self.engine.interpolate_batch(ub, out=ws["particle"])
+                recip = um.reshape(3, s, n).transpose(2, 0, 1).reshape(3 * n, s)
+            elif self.interp is not None:
                 um = self.interp.interpolate_batch(ub, out=ws["particle"])
                 recip = um.reshape(3, s, n).transpose(2, 0, 1).reshape(3 * n, s)
             else:
@@ -292,8 +340,8 @@ class PMEOperator:
                                             kind=self.params.interpolation)
                 recip = um.reshape(n, 3, s).reshape(3 * n, s).copy()
 
-        with self.timers.phase("real", vectors=s):
-            recip += self.real.apply_block(f)
+        with self.timers.phase("real", vectors=s, **xargs):
+            recip += self.real.apply_block(f, context=ctx)
         recip *= self.fluid.mobility0
         self.n_applications += s
         obs.inc("pme_applications_total", s)

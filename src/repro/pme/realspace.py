@@ -127,18 +127,22 @@ class RealSpaceOperator:
                 out = self.bcsr.matvec(f)
         return out[:, 0] if flat else out
 
-    def apply_block(self, forces) -> np.ndarray:
+    def apply_block(self, forces, context=None) -> np.ndarray:
         """Multi-RHS real-space product via BCSR SpMM.
 
         Unlike :meth:`apply` (which on the SciPy engine loops the RHS
         columns inside ``csr_matvecs``), this streams each 3x3 block
         once against all ``s`` lanes through
         :meth:`~repro.sparse.bcsr.BlockCSR.matmat` — the paper's
-        Section IV.C block-of-vectors SpMV.
+        Section IV.C block-of-vectors SpMV.  A parallel
+        :class:`~repro.exec.ExecutionContext` chunks the product into
+        block-row ranges across its workers (bit-identical to the
+        serial product: row results are independent).
         """
         f, _ = as_force_block(forces, self.n)
-        with obs.span("pme.real_spmm", s=int(f.shape[1])):
-            return self.bcsr.matmat(f)
+        span_args = {} if context is None else context.span_args()
+        with obs.span("pme.real_spmm", s=int(f.shape[1]), **span_args):
+            return self.bcsr.matmat(f, context=context)
 
     @property
     def memory_bytes(self) -> int:

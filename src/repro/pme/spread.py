@@ -106,6 +106,13 @@ class InterpolationMatrix:
             self.K = int(K)
             self.p = int(p)
             self.kind = kind
+            #: Per-particle spreading weights and flat mesh columns,
+            #: shape ``(n, p^3)`` — the tables behind the CSR arrays
+            #: (shared memory, not copies).  The colored execution
+            #: engine (:class:`repro.parallel.engine.ColoredPMEEngine`)
+            #: reuses them so parallel spreading recomputes nothing.
+            self.weights = data
+            self.columns = cols
             indptr = np.arange(0, n * p ** 3 + 1, p ** 3, dtype=np.intp)
             #: The sparse ``n x K^3`` matrix (CSR).
             self.matrix = sp.csr_matrix(

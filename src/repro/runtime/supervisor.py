@@ -144,7 +144,8 @@ class _WorkerHandle:
 
     def assign(self, record: TaskRecord, fault, *, checkpoint_dir: str,
                slow_per_step: float, heartbeat_interval: float,
-               obs_config: dict[str, Any] | None = None) -> None:
+               obs_config: dict[str, Any] | None = None,
+               exec_config: dict[str, Any] | None = None) -> None:
         spec = record.spec
         if obs_config is not None:
             # stamp the trace context on the wire copy only — the
@@ -162,6 +163,8 @@ class _WorkerHandle:
         }
         if obs_config is not None:
             message["obs"] = obs_config
+        if exec_config is not None:
+            message["exec"] = exec_config
         if fault is not None:
             message["fault"] = {"kind": fault.kind, "at_step": fault.at_step}
         self.conn.send(message)
@@ -284,6 +287,24 @@ class Supervisor:
                                self._stop_event)
         self._next_worker_id += 1
         return handle
+
+    def _exec_config(self) -> dict[str, Any] | None:
+        """Per-worker execution sizing (``None`` on the serial backend).
+
+        The configured worker budget is divided evenly between the
+        ensemble workers so co-resident tasks don't oversubscribe the
+        machine.  A configured ``processes`` backend is downgraded to
+        ``threads`` inside the workers: they are daemonic processes and
+        may not fork a nested pool (and the colored pipeline is
+        bit-identical across backends anyway).
+        """
+        from ..config import get_config
+        cfg = get_config()
+        if cfg.backend == "serial":
+            return None
+        backend = "threads" if cfg.backend == "processes" else cfg.backend
+        share = max(1, cfg.resolved_workers() // self.n_workers)
+        return {"backend": backend, "workers": share}
 
     def _obs_config(self) -> dict[str, Any] | None:
         """Worker observability config (``None`` when obs is off)."""
@@ -478,7 +499,8 @@ class Supervisor:
                         slow_per_step=(self.fault_plan.slow_per_step
                                        if self.fault_plan else 0.0),
                         heartbeat_interval=self.heartbeat_interval,
-                        obs_config=self._obs_config())
+                        obs_config=self._obs_config(),
+                        exec_config=self._exec_config())
 
             busy = [h for h in workers if h.busy]
             if not busy and (self._draining or not self._pending()):

@@ -74,7 +74,7 @@ def _corrupt_payload(positions: np.ndarray) -> np.ndarray:
                          dtype=np.float64).reshape(positions.shape)
 
 
-def _build_integrator(spec: TaskSpec, safe_mode: bool):
+def _build_integrator(spec: TaskSpec, safe_mode: bool, context=None):
     suspension = make_suspension(spec.n, spec.phi, seed=spec.system_seed)
     force_field = (RepulsiveHarmonic(suspension.box, suspension.fluid)
                    if spec.forces else None)
@@ -83,7 +83,7 @@ def _build_integrator(spec: TaskSpec, safe_mode: bool):
         box=suspension.box, fluid=suspension.fluid,
         force_field=force_field, dt=spec.dt, lambda_rpy=spec.lambda_rpy,
         seed=spec.seed, pme_params=spec.pme, e_k=spec.e_k,
-        recovery=recovery)
+        recovery=recovery, context=context)
     return suspension, integrator
 
 
@@ -91,9 +91,11 @@ def _run_task(conn, stop_event, spec: TaskSpec, attempt: int,
               fault: dict[str, Any] | None, safe_mode: bool,
               checkpoint_dir: str, slow_per_step: float,
               heartbeat_interval: float,
-              session: SpoolingSession | None = None) -> str:
+              session: SpoolingSession | None = None,
+              context=None) -> str:
     """Execute one task; reports over ``conn``, returns the outcome."""
-    suspension, integrator = _build_integrator(spec, safe_mode)
+    suspension, integrator = _build_integrator(spec, safe_mode,
+                                               context=context)
     ckpt_path = spec.checkpoint_path(checkpoint_dir)
 
     step0 = 0
@@ -207,16 +209,28 @@ def worker_main(conn, stop_event, worker_id: int) -> None:
     set_tracer(None)
     set_metrics(None)
     session: SpoolingSession | None = None
+    context = None  # process-lifetime execution context (first "exec")
     conn.send({"msg": "ready", "worker_id": worker_id})
     while True:
         try:
             message = conn.recv()
         except (EOFError, OSError):
+            if context is not None:
+                context.close()
             return  # supervisor died; nothing left to report to
         if message.get("cmd") == "shutdown":
             if session is not None:
                 session.close()
+            if context is not None:
+                context.close()
             return
+        exec_config = message.get("exec")
+        if exec_config is not None and context is None:
+            # the supervisor already divided the machine between the
+            # ensemble workers; this share is ours for the process life
+            from ..exec import ExecutionContext
+            context = ExecutionContext(backend=exec_config["backend"],
+                                       workers=exec_config["workers"])
         spec = TaskSpec.from_json(message["spec"])
         obs_config = message.get("obs")
         if obs_config is not None and session is None:
@@ -242,7 +256,7 @@ def worker_main(conn, stop_event, worker_id: int) -> None:
                 slow_per_step=message.get("slow_per_step", 0.0),
                 heartbeat_interval=message.get(
                     "heartbeat_interval", DEFAULT_HEARTBEAT_INTERVAL),
-                session=session)
+                session=session, context=context)
         except Exception as exc:  # noqa: RPR006 - worker boundary: the
             # failure is not swallowed, it crosses the process boundary
             # as a structured StepFailure report for the supervisor

@@ -1,24 +1,44 @@
-"""Runtime-compiled native BCSR SpMM kernel (multi-RHS real-space term).
+"""Runtime-compiled native kernels for the PME hot path.
 
 ``scipy.sparse``'s CSR ``matmat`` walks the right-hand-side *columns*
 one at a time (``csr_matvecs``), so it amortizes nothing across the
 ``s`` vectors of a block — exactly the cost the paper's Section IV.C
 ("SpMV on blocks of vectors", reference [24]) eliminates.  This module
-compiles, at import-on-demand time, a small C kernel that streams each
-3x3 block once and multiplies it against all ``s`` lanes of the
-operand while the block is in registers.  Lane counts common in
-Algorithm 2 (1, 2, 4, 6, 8, 12, 16) get fully specialized inner loops
-(compile-time trip counts vectorize; a generic fallback handles any
-other ``s``).
+compiles, at import-on-demand time, a small C library with the four
+entry points the parallel execution layer needs:
 
-The kernel is strictly optional: compilation requires a C compiler
+``bcsr_matmat`` / ``bcsr_matmat_range``
+    Multi-RHS BCSR SpMM streaming each 3x3 block once against all
+    ``s`` lanes.  Lane counts common in Algorithm 2 (1, 2, 4, 6, 8,
+    12, 16) get fully specialized inner loops; the ``_range`` variant
+    computes only block rows ``[lo, hi)`` so an execution context can
+    chunk the product over workers (row results are independent, so
+    any partition is bit-identical to the serial product).
+``spread_idx``
+    Scatter-add of a particle subset onto a batch-first ``(lanes,
+    K^3)`` mesh (Section IV.B.2).  The subset is one mesh block of one
+    color of the independent-set schedule: within a color, blocks
+    write disjoint mesh points, so concurrent calls use *plain stores*
+    — no atomics — exactly as the paper promises.
+``interp_range``
+    Gather (interpolation) of particle rows ``[lo, hi)`` from a
+    batch-first mesh; pure reads plus disjoint writes, so row chunks
+    parallelize trivially.
+
+Every entry point is called through ``ctypes``, which releases the GIL
+for the duration of the C call — this is what makes the ``threads``
+backend of :mod:`repro.exec` genuinely parallel on CPython.
+
+The kernels are strictly optional: compilation requires a C compiler
 (``cc``/``gcc``/``clang``) on ``PATH``, and every failure — no
 compiler, sandboxed temp dir, exotic platform — degrades silently to
-the pure SciPy/NumPy paths in :mod:`repro.sparse.bcsr`.  Setting
-``REPRO_NO_CKERNEL=1`` disables it explicitly (useful to benchmark the
-fallback or rule the kernel out when debugging).  Compiled libraries
-are cached on disk keyed by a hash of the source and compiler flags,
-so the cost is one ``cc`` invocation per machine, not per process.
+the pure SciPy/NumPy paths.  The ``no_ckernel`` knob of
+:class:`repro.config.RuntimeConfig` (``REPRO_NO_CKERNEL=1``) disables
+them explicitly (useful to benchmark the fallback or rule the kernels
+out when debugging).  Compiled libraries are cached on disk keyed by a
+hash of the source and compiler flags (directory overridable via the
+``ckernel_cache`` knob), so the cost is one ``cc`` invocation per
+machine, not per process.
 """
 
 from __future__ import annotations
@@ -34,7 +54,12 @@ from pathlib import Path
 import numpy as np
 from numpy.ctypeslib import ndpointer
 
-__all__ = ["spmm_kernel", "kernel_available", "SPECIALIZED_LANES"]
+from ..config import get_config
+
+__all__ = [
+    "spmm_kernel", "spmm_range_kernel", "spread_kernel", "interp_kernel",
+    "kernel_available", "reset_kernel_cache", "SPECIALIZED_LANES",
+]
 
 #: Lane counts with fully specialized (compile-time ``s``) inner loops.
 SPECIALIZED_LANES = (1, 2, 4, 6, 8, 12, 16)
@@ -43,14 +68,14 @@ _SOURCE = r"""
 #include <stddef.h>
 
 #define DEFINE_SPMM(S)                                                   \
-static void bcsr_matmat_##S(const long long nb,                          \
+static void bcsr_matmat_##S(const long long lo, const long long hi,      \
                             const long long *restrict indptr,            \
                             const long long *restrict indices,           \
                             const double *restrict blocks,               \
                             const double *restrict x,                    \
                             double *restrict y)                          \
 {                                                                        \
-    for (long long r = 0; r < nb; ++r) {                                 \
+    for (long long r = lo; r < hi; ++r) {                                \
         double acc[3 * S];                                               \
         for (int c = 0; c < 3 * S; ++c) acc[c] = 0.0;                    \
         const long long k1 = indptr[r + 1];                              \
@@ -77,20 +102,21 @@ DEFINE_SPMM(8)
 DEFINE_SPMM(12)
 DEFINE_SPMM(16)
 
-void bcsr_matmat(const long long nb, const long long *indptr,
-                 const long long *indices, const double *blocks,
-                 const double *x, double *y, const long long s)
+void bcsr_matmat_range(const long long lo, const long long hi,
+                       const long long *indptr, const long long *indices,
+                       const double *blocks, const double *x, double *y,
+                       const long long s)
 {
     switch (s) {
-    case 1:  bcsr_matmat_1(nb, indptr, indices, blocks, x, y);  return;
-    case 2:  bcsr_matmat_2(nb, indptr, indices, blocks, x, y);  return;
-    case 4:  bcsr_matmat_4(nb, indptr, indices, blocks, x, y);  return;
-    case 6:  bcsr_matmat_6(nb, indptr, indices, blocks, x, y);  return;
-    case 8:  bcsr_matmat_8(nb, indptr, indices, blocks, x, y);  return;
-    case 12: bcsr_matmat_12(nb, indptr, indices, blocks, x, y); return;
-    case 16: bcsr_matmat_16(nb, indptr, indices, blocks, x, y); return;
+    case 1:  bcsr_matmat_1(lo, hi, indptr, indices, blocks, x, y);  return;
+    case 2:  bcsr_matmat_2(lo, hi, indptr, indices, blocks, x, y);  return;
+    case 4:  bcsr_matmat_4(lo, hi, indptr, indices, blocks, x, y);  return;
+    case 6:  bcsr_matmat_6(lo, hi, indptr, indices, blocks, x, y);  return;
+    case 8:  bcsr_matmat_8(lo, hi, indptr, indices, blocks, x, y);  return;
+    case 12: bcsr_matmat_12(lo, hi, indptr, indices, blocks, x, y); return;
+    case 16: bcsr_matmat_16(lo, hi, indptr, indices, blocks, x, y); return;
     }
-    for (long long r = 0; r < nb; ++r) {
+    for (long long r = lo; r < hi; ++r) {
         double *yr = y + (size_t)(3 * s) * r;
         for (long long c = 0; c < 3 * s; ++c) yr[c] = 0.0;
         for (long long k = indptr[r]; k < indptr[r + 1]; ++k) {
@@ -105,18 +131,86 @@ void bcsr_matmat(const long long nb, const long long *indptr,
         }
     }
 }
+
+void bcsr_matmat(const long long nb, const long long *indptr,
+                 const long long *indices, const double *blocks,
+                 const double *x, double *y, const long long s)
+{
+    bcsr_matmat_range(0, nb, indptr, indices, blocks, x, y, s);
+}
+
+/* Scatter-add a particle subset onto a batch-first (lanes, k3) mesh.
+ * idx selects rows of the (n, pcube) weight/column tables; vals is the
+ * (n, lanes) per-particle operand.  Accumulation order is (particle,
+ * lane, element) with particles in idx order — matching the NumPy
+ * fallback's np.add.at traversal, and identical for every partition of
+ * a color into blocks because block footprints are disjoint. */
+void spread_idx(const long long nidx, const long long *restrict idx,
+                const double *restrict data, const long long *restrict cols,
+                const long long pcube, const double *restrict vals,
+                const long long lanes, double *restrict out,
+                const long long k3)
+{
+    for (long long t = 0; t < nidx; ++t) {
+        const long long i = idx[t];
+        const double *restrict wi = data + (size_t)i * pcube;
+        const long long *restrict ci = cols + (size_t)i * pcube;
+        const double *restrict vi = vals + (size_t)i * lanes;
+        for (long long b = 0; b < lanes; ++b) {
+            const double v = vi[b];
+            double *restrict ob = out + (size_t)b * k3;
+            for (long long e = 0; e < pcube; ++e)
+                ob[ci[e]] += wi[e] * v;
+        }
+    }
+}
+
+/* Gather (interpolate) particle rows [lo, hi) from a batch-first
+ * (lanes, k3) mesh into a (lanes, n) output.  Row results are
+ * independent, so any row partition is bit-identical. */
+void interp_range(const long long lo, const long long hi,
+                  const double *restrict data, const long long *restrict cols,
+                  const long long pcube, const double *restrict mesh,
+                  const long long k3, const long long lanes,
+                  const long long n, double *restrict out)
+{
+    for (long long i = lo; i < hi; ++i) {
+        const double *restrict wi = data + (size_t)i * pcube;
+        const long long *restrict ci = cols + (size_t)i * pcube;
+        for (long long b = 0; b < lanes; ++b) {
+            const double *restrict mb = mesh + (size_t)b * k3;
+            double acc = 0.0;
+            for (long long e = 0; e < pcube; ++e)
+                acc += wi[e] * mb[ci[e]];
+            out[(size_t)b * n + i] = acc;
+        }
+    }
+}
 """
 
 _BASE_FLAGS = ["-O3", "-fPIC", "-shared"]
 
-#: Memoized load result: unset / the ctypes function / None (unavailable).
+#: Memoized load result: unset / a _Kernels bundle / None (unavailable).
 _UNSET = object()
-_kernel: object = _UNSET
+_kernels: object = _UNSET
+
+
+class _Kernels:
+    """The four loaded entry points of one compiled library."""
+
+    __slots__ = ("spmm", "spmm_range", "spread", "interp")
+
+    def __init__(self, spmm: object, spmm_range: object, spread: object,
+                 interp: object):
+        self.spmm = spmm
+        self.spmm_range = spmm_range
+        self.spread = spread
+        self.interp = interp
 
 
 def _cache_dir() -> Path:
-    """Directory caching compiled kernels (override: REPRO_CKERNEL_CACHE)."""
-    override = os.environ.get("REPRO_CKERNEL_CACHE")
+    """Directory caching compiled kernels (``ckernel_cache`` knob)."""
+    override = get_config().ckernel_cache
     if override:
         return Path(override)
     return Path(tempfile.gettempdir()) / "repro-ckernels"
@@ -133,7 +227,7 @@ def _compiler() -> str | None:
 def _compile(compiler: str, flags: list[str], out: Path) -> bool:
     """Compile the kernel source to ``out``; True on success."""
     with tempfile.TemporaryDirectory() as tmp:
-        src = Path(tmp) / "bcsr_spmm.c"
+        src = Path(tmp) / "repro_kernels.c"
         src.write_text(_SOURCE, encoding="utf-8")
         obj = Path(tmp) / out.name
         try:
@@ -153,35 +247,112 @@ def _compile(compiler: str, flags: list[str], out: Path) -> bool:
         return True
 
 
-def _load(path: Path) -> object | None:
+def _load(path: Path) -> _Kernels | None:
     try:
         lib = ctypes.CDLL(str(path))
-        fn = lib.bcsr_matmat
-    except OSError:
+        spmm = lib.bcsr_matmat
+        spmm_range = lib.bcsr_matmat_range
+        spread = lib.spread_idx
+        interp = lib.interp_range
+    except (OSError, AttributeError):
         return None
     i64 = ndpointer(dtype=np.int64, flags="C_CONTIGUOUS")
     f64 = ndpointer(dtype=np.float64, flags="C_CONTIGUOUS")
-    fn.argtypes = [ctypes.c_longlong, i64, i64, f64, f64, f64,
-                   ctypes.c_longlong]
-    fn.restype = None
-    return fn
+    ll = ctypes.c_longlong
+    spmm.argtypes = [ll, i64, i64, f64, f64, f64, ll]
+    spmm.restype = None
+    spmm_range.argtypes = [ll, ll, i64, i64, f64, f64, f64, ll]
+    spmm_range.restype = None
+    spread.argtypes = [ll, i64, f64, i64, ll, f64, ll, f64, ll]
+    spread.restype = None
+    interp.argtypes = [ll, ll, f64, i64, ll, f64, ll, ll, ll, f64]
+    interp.restype = None
+    return _Kernels(spmm, spmm_range, spread, interp)
 
 
-def _selftest(fn: object) -> bool:
-    """Check the loaded kernel against a tiny dense reference."""
+def _selftest(kernels: _Kernels) -> bool:
+    """Check every loaded entry point against tiny NumPy references."""
+    rng = np.random.default_rng(7)
+
+    # SpMM (full + range must agree with the dense product)
     indptr = np.array([0, 2, 3], dtype=np.int64)
     indices = np.array([0, 1, 1], dtype=np.int64)
-    rng = np.random.default_rng(7)
     blocks = np.ascontiguousarray(rng.standard_normal((3, 3, 3)))
     x = np.ascontiguousarray(rng.standard_normal((2, 3, 2)))
     y = np.empty_like(x)
-    fn(2, indptr, indices, blocks, x, y, 2)  # type: ignore[operator]
+    kernels.spmm(2, indptr, indices, blocks, x, y, 2)
     dense = np.zeros((6, 6))
     dense[0:3, 0:3] = blocks[0]
     dense[0:3, 3:6] = blocks[1]
     dense[3:6, 3:6] = blocks[2]
     ref = (dense @ x.reshape(6, 2)).reshape(2, 3, 2)
-    return bool(np.allclose(y, ref, rtol=1e-12, atol=1e-12))
+    if not np.allclose(y, ref, rtol=1e-12, atol=1e-12):
+        return False
+    y2 = np.zeros_like(x)
+    kernels.spmm_range(0, 1, indptr, indices, blocks, x, y2, 2)
+    kernels.spmm_range(1, 2, indptr, indices, blocks, x, y2, 2)
+    if not np.array_equal(y, y2):
+        return False
+
+    # spread: scatter-add must match np.add.at exactly
+    n, pcube, k3, lanes = 3, 4, 8, 2
+    data = np.ascontiguousarray(rng.standard_normal((n, pcube)))
+    cols = np.ascontiguousarray(
+        rng.integers(0, k3, size=(n, pcube)), dtype=np.int64)
+    vals = np.ascontiguousarray(rng.standard_normal((n, lanes)))
+    out = np.zeros((lanes, k3))
+    idx = np.arange(n, dtype=np.int64)
+    kernels.spread(n, idx, data, cols, pcube, vals, lanes, out, k3)
+    expect = np.zeros((k3, lanes))
+    np.add.at(expect, cols.ravel(),
+              (data[:, :, None] * vals[:, None, :]).reshape(-1, lanes))
+    if not np.allclose(out, expect.T, rtol=1e-12, atol=1e-12):
+        return False
+
+    # interpolate: gather must match the einsum reference
+    mesh = np.ascontiguousarray(rng.standard_normal((lanes, k3)))
+    got = np.zeros((lanes, n))
+    kernels.interp(0, n, data, cols, pcube, mesh, k3, lanes, n, got)
+    want = np.einsum("ie,bie->bi", data, mesh[:, cols])
+    return bool(np.allclose(got, want, rtol=1e-12, atol=1e-12))
+
+
+def _bundle() -> _Kernels | None:
+    """Compile/load/memoize the kernel library (None when unavailable)."""
+    global _kernels
+    if _kernels is not _UNSET:
+        return None if _kernels is None else _kernels  # type: ignore[return-value]
+    if get_config().no_ckernel:
+        _kernels = None
+        return None
+    compiler = _compiler()
+    if compiler is None:
+        _kernels = None
+        return None
+    for flags in ([*_BASE_FLAGS, "-march=native"], _BASE_FLAGS):
+        tag = hashlib.sha256(
+            (_SOURCE + compiler + " ".join(flags)).encode()).hexdigest()[:16]
+        lib_path = _cache_dir() / f"repro-kernels-{tag}.so"
+        if not lib_path.exists() and not _compile(compiler, flags, lib_path):
+            continue
+        kernels = _load(lib_path)
+        if kernels is not None and _selftest(kernels):
+            _kernels = kernels
+            return kernels
+    _kernels = None
+    return None
+
+
+def reset_kernel_cache() -> None:
+    """Forget the memoized load result (test helper).
+
+    The bundle is memoized for the process lifetime, so flipping
+    ``REPRO_NO_CKERNEL`` at runtime has no effect until this is called;
+    the backend-equivalence tests use it to exercise both paths in one
+    process.  The on-disk compilation cache is untouched.
+    """
+    global _kernels
+    _kernels = _UNSET
 
 
 def spmm_kernel() -> object | None:
@@ -191,30 +362,31 @@ def spmm_kernel() -> object | None:
     indices, blocks, x, y, s)`` with ``x``/``y`` row-major ``(nb, 3, s)``
     float64 arrays.  The result is memoized for the process lifetime.
     """
-    global _kernel
-    if _kernel is not _UNSET:
-        return None if _kernel is None else _kernel
-    if os.environ.get("REPRO_NO_CKERNEL", "").strip() in ("1", "true", "yes"):
-        _kernel = None
-        return None
-    compiler = _compiler()
-    if compiler is None:
-        _kernel = None
-        return None
-    for flags in ([*_BASE_FLAGS, "-march=native"], _BASE_FLAGS):
-        tag = hashlib.sha256(
-            (_SOURCE + compiler + " ".join(flags)).encode()).hexdigest()[:16]
-        lib_path = _cache_dir() / f"bcsr_spmm-{tag}.so"
-        if not lib_path.exists() and not _compile(compiler, flags, lib_path):
-            continue
-        fn = _load(lib_path)
-        if fn is not None and _selftest(fn):
-            _kernel = fn
-            return fn
-    _kernel = None
-    return None
+    kernels = _bundle()
+    return None if kernels is None else kernels.spmm
+
+
+def spmm_range_kernel() -> object | None:
+    """Row-range SpMM ``bcsr_matmat_range(lo, hi, indptr, indices,
+    blocks, x, y, s)`` — computes block rows ``[lo, hi)`` only."""
+    kernels = _bundle()
+    return None if kernels is None else kernels.spmm_range
+
+
+def spread_kernel() -> object | None:
+    """Colored scatter-add ``spread_idx(nidx, idx, data, cols, pcube,
+    vals, lanes, out, k3)`` with ``out`` batch-first ``(lanes, k3)``."""
+    kernels = _bundle()
+    return None if kernels is None else kernels.spread
+
+
+def interp_kernel() -> object | None:
+    """Row-range gather ``interp_range(lo, hi, data, cols, pcube, mesh,
+    k3, lanes, n, out)`` with ``out`` shaped ``(lanes, n)``."""
+    kernels = _bundle()
+    return None if kernels is None else kernels.interp
 
 
 def kernel_available() -> bool:
-    """True when the native SpMM kernel compiled and passed self-test."""
-    return spmm_kernel() is not None
+    """True when the native kernels compiled and passed self-test."""
+    return _bundle() is not None

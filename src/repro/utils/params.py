@@ -5,13 +5,13 @@ the Brownian-generator configs, :class:`~repro.rpy.ewald.EwaldSummation`)
 historically accepted positional arguments, which makes call sites
 fragile against field reordering and unreadable in reviews
 (``PMEParams(0.5, 8.0, 64)`` — which number is which?).  The
-:func:`keyword_only` decorator migrates a constructor to keyword-only
-calling *softly*: positional construction still works but emits a
-single :class:`DeprecationWarning` per class with a concrete migration
-hint, and every decorated class gains a ``replace(**changes)`` helper
-returning a copy with the given fields overridden (``dataclasses.replace``
-for dataclasses, re-construction from the recorded keyword arguments
-otherwise).
+:func:`keyword_only` decorator makes a constructor keyword-only:
+positional construction raises :class:`TypeError` with a concrete
+migration hint (the soft ``DeprecationWarning`` period ended with the
+execution-context release), and every decorated class gains a
+``replace(**changes)`` helper returning a copy with the given fields
+overridden (``dataclasses.replace`` for dataclasses, re-construction
+from the recorded keyword arguments otherwise).
 """
 
 from __future__ import annotations
@@ -19,41 +19,27 @@ from __future__ import annotations
 import dataclasses
 import functools
 import inspect
-import warnings
-from typing import Any, TypeVar
+from typing import Any, NoReturn, TypeVar
 
-__all__ = ["keyword_only", "warn_positional"]
+__all__ = ["keyword_only"]
 
 _T = TypeVar("_T", bound=type)
 
-#: Classes that already emitted their positional-construction warning.
-_warned_classes: set[str] = set()
 
-
-def _reset_positional_warnings() -> None:
-    """Forget which classes warned (test helper)."""
-    _warned_classes.clear()
-
-
-def warn_positional(cls: type, names: list[str]) -> None:
-    """Emit the once-per-class positional-construction warning."""
-    key = f"{cls.__module__}.{cls.__qualname__}"
-    if key in _warned_classes:
-        return
-    _warned_classes.add(key)
+def _reject_positional(cls: type, names: list[str]) -> NoReturn:
+    """Raise the positional-construction removal error."""
     hint = ", ".join(f"{name}=..." for name in names) or "..."
-    warnings.warn(
-        f"positional construction of {cls.__name__} is deprecated; "
+    raise TypeError(
+        f"positional construction of {cls.__name__} was removed; "
         f"call {cls.__name__}({hint}) with keyword arguments "
-        f"(see docs/api.md)",
-        DeprecationWarning, stacklevel=3)
+        f"(see docs/api.md)")
 
 
 def keyword_only(cls: _T) -> _T:
-    """Class decorator: keyword-only ``__init__`` with soft migration.
+    """Class decorator: keyword-only ``__init__``.
 
-    * Positional arguments are still accepted but raise a single
-      :class:`DeprecationWarning` per class naming the fields to use.
+    * Positional arguments raise :class:`TypeError` naming the fields
+      to use instead.
     * Adds ``replace(**changes)`` unless the class defines one.
 
     Works on dataclasses (including frozen ones) and plain classes; for
@@ -72,18 +58,8 @@ def keyword_only(cls: _T) -> _T:
     @functools.wraps(original_init)
     def __init__(self: Any, *args: Any, **kwargs: Any) -> None:
         if args:
-            if len(args) > len(positional_names):
-                raise TypeError(
-                    f"{cls.__name__}() takes at most "
-                    f"{len(positional_names)} positional arguments "
-                    f"({len(args)} given)")
-            warn_positional(cls, positional_names[:len(args)])
-            for name, value in zip(positional_names, args):
-                if name in kwargs:
-                    raise TypeError(
-                        f"{cls.__name__}() got multiple values for "
-                        f"argument {name!r}")
-                kwargs[name] = value
+            _reject_positional(cls, positional_names[:len(args)] or
+                               positional_names)
         if not is_dataclass:
             # record for replace(); object.__setattr__ tolerates
             # classes that freeze attributes in their own __init__

@@ -21,7 +21,7 @@ def mobility():
     box = Box(15.0)
     rng = np.random.default_rng(6)
     r = rng.uniform(0, box.length, size=(8, 3))
-    return EwaldSummation(box, tol=1e-10).matrix(r)
+    return EwaldSummation(box=box, tol=1e-10).matrix(r)
 
 
 def _empirical_covariance(generate, d, n_samples, seed, batch=500):
@@ -39,7 +39,7 @@ def _empirical_covariance(generate, d, n_samples, seed, batch=500):
 
 def test_cholesky_covariance(mobility):
     kT, dt = 1.0, 1e-3
-    gen = CholeskyBrownianGenerator(kT, dt)
+    gen = CholeskyBrownianGenerator(kT=kT, dt=dt)
     d = mobility.shape[0]
     cov = _empirical_covariance(lambda z: gen.generate(mobility, z), d,
                                 30_000, seed=0)
@@ -49,7 +49,7 @@ def test_cholesky_covariance(mobility):
 
 def test_krylov_covariance(mobility):
     kT, dt = 1.0, 1e-3
-    gen = KrylovBrownianGenerator(kT, dt, tol=1e-6)
+    gen = KrylovBrownianGenerator(kT=kT, dt=dt, tol=1e-6)
     d = mobility.shape[0]
     # block size must not exceed the dimension (24 here)
     cov = _empirical_covariance(
@@ -65,8 +65,8 @@ def test_generators_agree_on_sqrt_action(mobility):
     # through the quadratic form g^T M^{-1} g which is invariant
     kT, dt = 1.0, 2e-3
     z = np.random.default_rng(2).standard_normal((mobility.shape[0], 4))
-    g_chol = CholeskyBrownianGenerator(kT, dt).generate(mobility, z)
-    g_kry = KrylovBrownianGenerator(kT, dt, tol=1e-9).generate(
+    g_chol = CholeskyBrownianGenerator(kT=kT, dt=dt).generate(mobility, z)
+    g_kry = KrylovBrownianGenerator(kT=kT, dt=dt, tol=1e-9).generate(
         lambda v: mobility @ v, z)
     minv = np.linalg.inv(mobility)
     q_chol = np.einsum("is,ij,js->s", g_chol, minv, g_chol)
@@ -77,13 +77,13 @@ def test_generators_agree_on_sqrt_action(mobility):
 def test_scale_factor(mobility):
     # displacements scale as sqrt(2 kT dt)
     z = np.random.default_rng(3).standard_normal((mobility.shape[0], 2))
-    g1 = CholeskyBrownianGenerator(1.0, 1e-3).generate(mobility, z)
-    g4 = CholeskyBrownianGenerator(4.0, 1e-3).generate(mobility, z)
+    g1 = CholeskyBrownianGenerator(kT=1.0, dt=1e-3).generate(mobility, z)
+    g4 = CholeskyBrownianGenerator(kT=4.0, dt=1e-3).generate(mobility, z)
     np.testing.assert_allclose(g4, 2.0 * g1, rtol=1e-12)
 
 
 def test_krylov_reports_info(mobility):
-    gen = KrylovBrownianGenerator(1.0, 1e-3, tol=1e-4)
+    gen = KrylovBrownianGenerator(kT=1.0, dt=1e-3, tol=1e-4)
     z = np.random.default_rng(4).standard_normal((mobility.shape[0], 3))
     gen.generate(lambda v: mobility @ v, z)
     assert gen.last_info is not None

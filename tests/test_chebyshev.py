@@ -112,11 +112,11 @@ class TestGeneratorOnRealMobility:
         box = Box(15.0)
         rng = np.random.default_rng(7)
         r = rng.uniform(0, box.length, size=(8, 3))
-        return EwaldSummation(box, tol=1e-10).matrix(r)
+        return EwaldSummation(box=box, tol=1e-10).matrix(r)
 
     def test_covariance(self, mobility):
         kT, dt = 1.0, 1e-3
-        gen = ChebyshevBrownianGenerator(kT, dt, tol=1e-5)
+        gen = ChebyshevBrownianGenerator(kT=kT, dt=dt, tol=1e-5)
         d = mobility.shape[0]
         rng = np.random.default_rng(8)
         acc = np.zeros((d, d))
@@ -133,15 +133,15 @@ class TestGeneratorOnRealMobility:
     def test_quadratic_form_matches_krylov(self, mobility):
         from repro.core.brownian import KrylovBrownianGenerator
         z = np.random.default_rng(9).standard_normal((mobility.shape[0], 4))
-        g_cheb = ChebyshevBrownianGenerator(1.0, 1e-3, tol=1e-8).generate(
+        g_cheb = ChebyshevBrownianGenerator(kT=1.0, dt=1e-3, tol=1e-8).generate(
             lambda v: mobility @ v, z)
-        g_kry = KrylovBrownianGenerator(1.0, 1e-3, tol=1e-9).generate(
+        g_kry = KrylovBrownianGenerator(kT=1.0, dt=1e-3, tol=1e-9).generate(
             lambda v: mobility @ v, z)
         # both approximate the same principal square root action
         np.testing.assert_allclose(g_cheb, g_kry, rtol=1e-4, atol=1e-8)
 
     def test_reports_bounds_and_info(self, mobility):
-        gen = ChebyshevBrownianGenerator(1.0, 1e-3, tol=1e-3)
+        gen = ChebyshevBrownianGenerator(kT=1.0, dt=1e-3, tol=1e-3)
         z = np.random.default_rng(10).standard_normal(mobility.shape[0])
         gen.generate(lambda v: mobility @ v, z)
         assert gen.last_bounds is not None

@@ -72,7 +72,7 @@ def test_tuned_operator_with_krylov_displacements():
     assert info.converged
     # compare against the dense reference square root
     from repro.krylov import dense_sqrt_apply
-    m = EwaldSummation(susp.box, tol=1e-10).matrix(susp.positions)
+    m = EwaldSummation(box=susp.box, tol=1e-10).matrix(susp.positions)
     ref = dense_sqrt_apply(m, z)
     err = np.linalg.norm(y - ref) / np.linalg.norm(ref)
     assert err < 5e-3

@@ -26,7 +26,7 @@ def configuration():
 
 def test_alpha_invariance(configuration):
     box, r = configuration
-    mats = [EwaldSummation(box, xi=xi, tol=1e-10).matrix(r)
+    mats = [EwaldSummation(box=box, xi=xi, tol=1e-10).matrix(r)
             for xi in (0.3, 0.5, 0.8)]
     scale = np.abs(mats[0]).max()
     for m in mats[1:]:
@@ -35,7 +35,7 @@ def test_alpha_invariance(configuration):
 
 def test_hasimoto_self_mobility():
     box = Box(25.0)
-    m = EwaldSummation(box, tol=1e-12).matrix(np.array([[3.0, 7.0, 11.0]]))
+    m = EwaldSummation(box=box, tol=1e-12).matrix(np.array([[3.0, 7.0, 11.0]]))
     expected = finite_size_correction(1.0 / box.length)
     # the expansion itself is truncated at (a/L)^3; next term is O((a/L)^6)
     assert m[0, 0] == pytest.approx(expected, abs=5e-7)
@@ -47,7 +47,7 @@ def test_hasimoto_self_mobility():
 
 def test_self_mobility_translation_invariant():
     box = Box(20.0)
-    ew = EwaldSummation(box, tol=1e-10)
+    ew = EwaldSummation(box=box, tol=1e-10)
     m1 = ew.matrix(np.array([[0.0, 0.0, 0.0]]))
     m2 = ew.matrix(np.array([[13.1, 4.4, 19.9]]))
     np.testing.assert_allclose(m1, m2, atol=1e-10)
@@ -55,26 +55,26 @@ def test_self_mobility_translation_invariant():
 
 def test_symmetric(configuration):
     box, r = configuration
-    m = EwaldSummation(box, tol=1e-8).matrix(r)
+    m = EwaldSummation(box=box, tol=1e-8).matrix(r)
     np.testing.assert_allclose(m, m.T, atol=1e-12)
 
 
 def test_positive_definite(configuration):
     box, r = configuration
-    m = EwaldSummation(box, tol=1e-8).matrix(r)
+    m = EwaldSummation(box=box, tol=1e-8).matrix(r)
     assert np.linalg.eigvalsh(m).min() > 0
 
 
 def test_positive_definite_dense_suspension():
     from repro.systems import lattice_suspension
     susp = lattice_suspension(32, 0.4, seed=1)
-    m = EwaldSummation(susp.box, tol=1e-6).matrix(susp.positions)
+    m = EwaldSummation(box=susp.box, tol=1e-6).matrix(susp.positions)
     assert np.linalg.eigvalsh(m).min() > 0
 
 
 def test_periodicity_translation_invariance(configuration):
     box, r = configuration
-    ew = EwaldSummation(box, tol=1e-8)
+    ew = EwaldSummation(box=box, tol=1e-8)
     m1 = ew.matrix(r)
     m2 = ew.matrix(r + np.array([5.0, -3.0, 11.0]))   # rigid translation
     np.testing.assert_allclose(m2, m1, atol=1e-9)
@@ -82,7 +82,7 @@ def test_periodicity_translation_invariance(configuration):
 
 def test_image_interaction_periodicity(configuration):
     box, r = configuration
-    ew = EwaldSummation(box, tol=1e-8)
+    ew = EwaldSummation(box=box, tol=1e-8)
     m1 = ew.matrix(r)
     r_shifted = r.copy()
     r_shifted[0] += np.array([box.length, 0.0, 0.0])  # shift by one image
@@ -93,7 +93,7 @@ def test_image_interaction_periodicity(configuration):
 def test_mobility_decreases_from_free_space():
     # periodic image drag lowers the self-mobility below mu0
     box = Box(15.0)
-    m = EwaldSummation(box, tol=1e-10).matrix(np.array([[1.0, 1.0, 1.0]]))
+    m = EwaldSummation(box=box, tol=1e-10).matrix(np.array([[1.0, 1.0, 1.0]]))
     assert m[0, 0] < 1.0
 
 
@@ -102,7 +102,7 @@ def test_free_space_limit_large_box():
     from repro.rpy.tensor import rpy_pair_tensors
     box = Box(400.0)
     r = np.array([[0.0, 0.0, 0.0], [5.0, 0.0, 0.0]])
-    m = EwaldSummation(box, tol=1e-10).matrix(r)
+    m = EwaldSummation(box=box, tol=1e-10).matrix(r)
     pair = rpy_pair_tensors(r[0:1] - r[1:2])[0]
     np.testing.assert_allclose(m[0:3, 3:6], pair, atol=2e-2)
     assert m[0, 0] == pytest.approx(1.0, abs=1e-2)
@@ -111,8 +111,8 @@ def test_free_space_limit_large_box():
 def test_physical_units_scaling(configuration):
     box, r = configuration
     fluid = FluidParams(radius=1.0, viscosity=2.0, kT=1.0)
-    m_reduced = EwaldSummation(box, tol=1e-8).matrix(r)
-    m_physical = EwaldSummation(box, fluid=fluid, tol=1e-8).matrix(r)
+    m_reduced = EwaldSummation(box=box, tol=1e-8).matrix(r)
+    m_physical = EwaldSummation(box=box, fluid=fluid, tol=1e-8).matrix(r)
     # viscosity only enters through the global mu0 prefactor
     np.testing.assert_allclose(m_physical, m_reduced * fluid.mobility0,
                                rtol=1e-12)
@@ -120,7 +120,7 @@ def test_physical_units_scaling(configuration):
 
 def test_apply_matches_matrix(configuration):
     box, r = configuration
-    ew = EwaldSummation(box, tol=1e-8)
+    ew = EwaldSummation(box=box, tol=1e-8)
     f = np.arange(3 * r.shape[0], dtype=float)
     np.testing.assert_allclose(ew.apply(r, f), ew.matrix(r) @ f, rtol=1e-12)
 
@@ -129,19 +129,19 @@ def test_convenience_wrapper(configuration):
     box, r = configuration
     np.testing.assert_allclose(
         ewald_mobility_matrix(r, box, tol=1e-8),
-        EwaldSummation(box, tol=1e-8).matrix(r))
+        EwaldSummation(box=box, tol=1e-8).matrix(r))
 
 
 def test_invalid_parameters():
     box = Box(10.0)
     with pytest.raises(ConfigurationError):
-        EwaldSummation(box, tol=0.0)
+        EwaldSummation(box=box, tol=0.0)
     with pytest.raises(ConfigurationError):
-        EwaldSummation(box, xi=-1.0)
+        EwaldSummation(box=box, xi=-1.0)
 
 
 def test_overlapping_pair_stays_spd():
     box = Box(12.0)
     r = np.array([[1.0, 1.0, 1.0], [2.2, 1.0, 1.0]])  # r = 1.2 < 2a
-    m = EwaldSummation(box, tol=1e-8).matrix(r)
+    m = EwaldSummation(box=box, tol=1e-8).matrix(r)
     assert np.linalg.eigvalsh(m).min() > 0

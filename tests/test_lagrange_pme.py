@@ -54,7 +54,7 @@ class TestLagrangePME:
         box = Box.for_volume_fraction(40, 0.2)
         rng = np.random.default_rng(11)
         r = rng.uniform(0, box.length, size=(40, 3))
-        ref = EwaldSummation(box, tol=1e-12).matrix(r)
+        ref = EwaldSummation(box=box, tol=1e-12).matrix(r)
         return box, r, ref
 
     def test_interpolation_matrix_kind(self, system):

@@ -1,4 +1,4 @@
-"""Tests of the static layer: rules RPR001-RPR010, CLI, output formats."""
+"""Tests of the static layer: rules RPR001-RPR011, CLI, output formats."""
 
 from __future__ import annotations
 
@@ -35,7 +35,8 @@ def test_at_least_ten_rules_registered():
     assert len(rules) >= 10
     ids = [r.meta.id for r in rules]
     assert ids == sorted(ids)
-    for expected in [f"RPR00{k}" for k in range(1, 10)] + ["RPR010"]:
+    for expected in ([f"RPR00{k}" for k in range(1, 10)]
+                     + ["RPR010", "RPR011"]):
         assert expected in ids
 
 
@@ -539,3 +540,50 @@ def test_repro_cli_lint_subcommand(seeded_file):
 
     assert repro_main(["lint", str(seeded_file)]) == 1
     assert repro_main(["lint", str(seeded_file), "--select", "RPR006"]) == 0
+
+
+# ----------------------------------------------------------------------
+# RPR011 ad-hoc worker pools outside repro.exec
+# ----------------------------------------------------------------------
+
+def test_rpr011_flags_executor_construction():
+    findings = rule_ids("""
+        from concurrent.futures import ThreadPoolExecutor
+        import concurrent.futures as cf
+
+        def run(tasks):
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                pool.map(lambda t: t(), tasks)
+            other = cf.ProcessPoolExecutor(2)
+            return other
+    """)
+    assert findings.count("RPR011") == 2
+
+
+def test_rpr011_flags_multiprocessing_pool():
+    assert "RPR011" in rule_ids("""
+        import multiprocessing as mp
+
+        def run():
+            return mp.Pool(4)
+    """)
+
+
+def test_rpr011_ignores_unrelated_pool_names():
+    # a bare user-defined Pool() is not the multiprocessing one
+    assert "RPR011" not in rule_ids("""
+        def run(Pool):
+            return Pool(4)
+    """)
+
+
+def test_rpr011_exempts_exec_package_and_tests():
+    snippet = dedent("""
+        from concurrent.futures import ThreadPoolExecutor
+        POOL = ThreadPoolExecutor(2)
+    """)
+    for path in ("src/repro/exec/context.py", "tests/test_exec.py"):
+        assert all(f.rule != "RPR011"
+                   for f in lint_source(snippet, path)), path
+    assert any(f.rule == "RPR011"
+               for f in lint_source(snippet, "src/repro/pme/spread.py"))

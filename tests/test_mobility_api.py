@@ -25,7 +25,6 @@ from repro.obs import trace as _trace
 from repro.pme.cache import MobilityCache
 from repro.resilience.recovery import materialize_operator
 from repro.rpy.ewald import EwaldSummation
-from repro.utils.params import _reset_positional_warnings
 
 
 @pytest.fixture(scope="module")
@@ -175,45 +174,37 @@ def test_apply_block_spans_carry_vector_counts(system):
 # deprecation shims
 # ---------------------------------------------------------------------------
 
-def test_direct_call_warns_on_pme_operator(system):
+def test_direct_call_raises_on_pme_operator(system):
     box, r, params = system
     op = PMEOperator(r, box, params)
     f = np.ones(3 * r.shape[0])
-    with pytest.warns(DeprecationWarning, match="apply"):
-        u = op(f)
-    np.testing.assert_allclose(u, op.apply(f))
+    with pytest.raises(TypeError, match="apply"):
+        op(f)
 
 
-def test_direct_call_warns_on_dense_wrapper(spd_matrix):
+def test_direct_call_raises_on_dense_wrapper(spd_matrix):
     op = DenseMobilityMatrix(spd_matrix)
-    with pytest.warns(DeprecationWarning, match="apply"):
+    with pytest.raises(TypeError, match="apply"):
         op(np.ones(30))
 
 
-def test_callable_wrapper_call_does_not_warn(spd_matrix):
+def test_callable_wrapper_call_still_works(spd_matrix):
     op = CallableMobility(lambda v: spd_matrix @ v, dim=30)
     with warnings.catch_warnings():
         warnings.simplefilter("error")
         op(np.ones(30))
 
 
-def test_positional_params_warn_once():
-    _reset_positional_warnings()
-    with pytest.warns(DeprecationWarning, match="keyword arguments"):
+def test_positional_params_raise():
+    with pytest.raises(TypeError, match="keyword arguments"):
         PMEParams(1.0, 4.0, 24)
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        PMEParams(1.0, 4.0, 24)       # second time: silent
-        PMEParams(xi=1.0, r_max=4.0, K=24)
+    PMEParams(xi=1.0, r_max=4.0, K=24)    # keyword form: fine
 
 
-def test_positional_generator_warns_once():
-    _reset_positional_warnings()
-    with pytest.warns(DeprecationWarning, match="KrylovBrownianGenerator"):
+def test_positional_generator_raises():
+    with pytest.raises(TypeError, match="KrylovBrownianGenerator"):
         KrylovBrownianGenerator(1.0, 1e-3)
-    with warnings.catch_warnings():
-        warnings.simplefilter("error")
-        KrylovBrownianGenerator(kT=1.0, dt=1e-3)
+    KrylovBrownianGenerator(kT=1.0, dt=1e-3)
 
 
 def test_replace_on_frozen_dataclass_params():

@@ -23,7 +23,7 @@ def system():
 
 def test_alpha_invariance_oseen(system):
     box, r = system
-    mats = [EwaldSummation(box, xi=xi, tol=1e-10, kernel="oseen").matrix(r)
+    mats = [EwaldSummation(box=box, xi=xi, tol=1e-10, kernel="oseen").matrix(r)
             for xi in (0.3, 0.5, 0.8)]
     scale = np.abs(mats[0]).max()
     for m in mats[1:]:
@@ -32,8 +32,8 @@ def test_alpha_invariance_oseen(system):
 
 def test_oseen_differs_from_rpy(system):
     box, r = system
-    m_rpy = EwaldSummation(box, tol=1e-8).matrix(r)
-    m_oseen = EwaldSummation(box, tol=1e-8, kernel="oseen").matrix(r)
+    m_rpy = EwaldSummation(box=box, tol=1e-8).matrix(r)
+    m_oseen = EwaldSummation(box=box, tol=1e-8, kernel="oseen").matrix(r)
     assert np.abs(m_rpy - m_oseen).max() > 1e-5
 
 
@@ -42,8 +42,8 @@ def test_kernels_agree_far_field():
     # separation in a large box the two kernels coincide
     box = Box(300.0)
     r = np.array([[0.0, 0.0, 0.0], [60.0, 0.0, 0.0]])
-    pair_rpy = EwaldSummation(box, tol=1e-10).matrix(r)[0:3, 3:6]
-    pair_oseen = EwaldSummation(box, tol=1e-10,
+    pair_rpy = EwaldSummation(box=box, tol=1e-10).matrix(r)[0:3, 3:6]
+    pair_oseen = EwaldSummation(box=box, tol=1e-10,
                                 kernel="oseen").matrix(r)[0:3, 3:6]
     np.testing.assert_allclose(pair_oseen, pair_rpy, atol=1e-5)
 
@@ -76,8 +76,8 @@ def test_oseen_not_positive_definite_at_close_range():
     # definiteness for close particles, RPY never does
     box = Box(20.0)
     r = np.array([[5.0, 5.0, 5.0], [6.2, 5.0, 5.0]])   # r = 1.2 < 2a
-    m_oseen = EwaldSummation(box, tol=1e-8, kernel="oseen").matrix(r)
-    m_rpy = EwaldSummation(box, tol=1e-8).matrix(r)
+    m_oseen = EwaldSummation(box=box, tol=1e-8, kernel="oseen").matrix(r)
+    m_rpy = EwaldSummation(box=box, tol=1e-8).matrix(r)
     assert np.linalg.eigvalsh(m_oseen).min() < 0
     assert np.linalg.eigvalsh(m_rpy).min() > 0
 
@@ -89,7 +89,7 @@ def test_oseen_matrix_exempt_from_strict_spd_gate(monkeypatch):
     monkeypatch.setenv("REPRO_CHECKS", "strict")
     box = Box(20.0)
     r = np.array([[5.0, 5.0, 5.0], [6.2, 5.0, 5.0]])
-    m_oseen = EwaldSummation(box, tol=1e-8, kernel="oseen").matrix(r)
+    m_oseen = EwaldSummation(box=box, tol=1e-8, kernel="oseen").matrix(r)
     assert np.linalg.eigvalsh(m_oseen).min() < 0
     with pytest.raises(ConfigurationError, match="positive definite"):
         # the RPY kernel keeps the gate: force a non-SPD return by
@@ -103,7 +103,7 @@ def test_oseen_pme_matches_dense():
     n = 40
     box = Box.for_volume_fraction(n, 0.2)
     r = rng.uniform(0, box.length, size=(n, 3))
-    ref = EwaldSummation(box, tol=1e-12, kernel="oseen").matrix(r)
+    ref = EwaldSummation(box=box, tol=1e-12, kernel="oseen").matrix(r)
     op = PMEOperator(r, box, PMEParams(xi=1.0, r_max=4.0, K=48, p=6,
                                        kernel="oseen"))
     f = rng.standard_normal(3 * n)
@@ -128,7 +128,7 @@ def test_oseen_pme_operator_symmetric():
 def test_unknown_kernel_rejected(system):
     box, _ = system
     with pytest.raises(ConfigurationError):
-        EwaldSummation(box, kernel="stokeslet-doublet")
+        EwaldSummation(box=box, kernel="stokeslet-doublet")
     with pytest.raises(ConfigurationError):
         PMEParams(xi=1.0, r_max=4.0, K=32, kernel="magic")
     with pytest.raises(ValueError):

@@ -13,7 +13,7 @@ def system():
     box = Box.for_volume_fraction(45, 0.2)
     rng = np.random.default_rng(12)
     r = rng.uniform(0, box.length, size=(45, 3))
-    reference = EwaldSummation(box, tol=1e-12).matrix(r)
+    reference = EwaldSummation(box=box, tol=1e-12).matrix(r)
     return box, r, reference
 
 
@@ -164,7 +164,7 @@ def test_single_particle_self_mobility():
     r = np.array([[10.0, 10.0, 10.0]])
     op = PMEOperator(r, box, PMEParams(xi=1.0, r_max=5.0, K=64, p=6))
     u = op.apply(np.array([1.0, 0.0, 0.0]))
-    ref = EwaldSummation(box, tol=1e-12).matrix(r)
+    ref = EwaldSummation(box=box, tol=1e-12).matrix(r)
     assert u[0] == pytest.approx(ref[0, 0], rel=1e-4)
     assert abs(u[1]) < 1e-6
     assert abs(u[2]) < 1e-6

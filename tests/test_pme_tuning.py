@@ -123,6 +123,6 @@ class TestTuner:
         rng = np.random.default_rng(n)
         r = rng.uniform(0, box.length, size=(n, 3))
         op = PMEOperator(r, box, params)
-        ref = EwaldSummation(box, tol=1e-12, kernel="oseen").matrix(r)
+        ref = EwaldSummation(box=box, tol=1e-12, kernel="oseen").matrix(r)
         assert pme_relative_error(op, n_probe=2,
                                   reference=lambda f: ref @ f) < target

@@ -30,7 +30,7 @@ def test_ewald_mobility_spd_property(n, seed):
     including heavily overlapping ones."""
     box = Box(12.0)
     r = _positions(n, box.length, seed)
-    m = EwaldSummation(box, tol=1e-6).matrix(r)
+    m = EwaldSummation(box=box, tol=1e-6).matrix(r)
     assert np.linalg.eigvalsh(m).min() > 0
 
 

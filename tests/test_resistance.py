@@ -19,7 +19,7 @@ def system():
 
 def test_inverts_dense_mobility(system):
     box, r = system
-    m = EwaldSummation(box, tol=1e-10).matrix(r)
+    m = EwaldSummation(box=box, tol=1e-10).matrix(r)
     u = np.random.default_rng(0).standard_normal(3 * r.shape[0])
     f, info = solve_resistance(lambda v: m @ v, u, tol=1e-10)
     np.testing.assert_allclose(m @ f, u, atol=1e-8)
@@ -39,7 +39,7 @@ def test_matrix_free_roundtrip(system):
 
 def test_block_solve(system):
     box, r = system
-    m = EwaldSummation(box, tol=1e-8).matrix(r)
+    m = EwaldSummation(box=box, tol=1e-8).matrix(r)
     u = np.random.default_rng(2).standard_normal((3 * r.shape[0], 3))
     f, info = solve_resistance(lambda v: m @ v, u, tol=1e-9)
     np.testing.assert_allclose(m @ f, u, atol=1e-7)
@@ -50,7 +50,7 @@ def test_drag_exceeds_isolated_stokes(system):
     # holding one particle at unit velocity inside a suspension needs
     # more force than in isolation (its neighbours' backflow resists)
     box, r = system
-    m = EwaldSummation(box, tol=1e-8).matrix(r)
+    m = EwaldSummation(box=box, tol=1e-8).matrix(r)
     u = np.zeros(3 * r.shape[0])
     u[0] = 1.0   # particle 0 moves at unit x-velocity, others held still
     f, _ = solve_resistance(lambda v: m @ v, u, tol=1e-9)
@@ -60,7 +60,7 @@ def test_drag_exceeds_isolated_stokes(system):
 
 def test_raises_on_iteration_cap(system):
     box, r = system
-    m = EwaldSummation(box, tol=1e-8).matrix(r)
+    m = EwaldSummation(box=box, tol=1e-8).matrix(r)
     u = np.random.default_rng(3).standard_normal(3 * r.shape[0])
     with pytest.raises(ConvergenceError):
         solve_resistance(lambda v: m @ v, u, tol=1e-14, max_iter=2)

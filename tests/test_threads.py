@@ -53,3 +53,37 @@ def test_block_groups_partition_colors(system):
         if group.size:
             joined = np.sort(np.concatenate(blocks))
             np.testing.assert_array_equal(joined, np.sort(group))
+
+
+def test_spreader_owns_persistent_pool(system):
+    # the pool is created once on the context, not per spread() call
+    box, r = system
+    with ThreadedSpreader(r, box, 32, 4, n_workers=2) as spreader:
+        assert spreader._owns_context
+        f = np.random.default_rng(3).standard_normal(r.shape[0])
+        spreader.spread(f)
+        pool = spreader.context.thread_pool()
+        spreader.spread(f)
+        assert spreader.context.thread_pool() is pool
+    assert spreader.context.closed
+
+
+def test_spreader_close_is_idempotent(system):
+    box, r = system
+    spreader = ThreadedSpreader(r, box, 32, 4, n_workers=2)
+    spreader.close()
+    spreader.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        spreader.spread(np.zeros(r.shape[0]))
+
+
+def test_spreader_borrowed_context_left_open(system):
+    from repro.exec import ExecutionContext
+
+    box, r = system
+    with ExecutionContext(backend="threads", workers=2) as ctx:
+        spreader = ThreadedSpreader(r, box, 32, 4, context=ctx)
+        f = np.random.default_rng(4).standard_normal(r.shape[0])
+        spreader.spread(f)
+        spreader.close()
+        assert not ctx.closed  # borrowed: owner closes it
