@@ -185,6 +185,66 @@ def build_parser() -> argparse.ArgumentParser:
     cshow.add_argument("--format", choices=["table", "json"],
                        default="table")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the batched simulation service on a local socket")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="listen on a Unix socket at PATH "
+                            "(default: TCP)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7321,
+                       help="TCP port (0 = ephemeral; default 7321)")
+    serve.add_argument("--max-batch", type=int, default=8,
+                       help="columns that flush a mobility batch "
+                            "immediately (default 8)")
+    serve.add_argument("--max-wait", type=float, default=2e-3,
+                       metavar="SECONDS",
+                       help="microbatching window (default 2ms)")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="mobility backlog bound in columns; beyond "
+                            "it requests are shed (default 64)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="unanswered requests allowed per connection "
+                            "(default 8)")
+    serve.add_argument("--max-jobs", type=int, default=2,
+                       help="concurrent simulate campaigns (default 2)")
+    serve.add_argument("--compute-threads", type=int, default=0,
+                       help="thread pool size for applies/builds "
+                            "(0 = REPRO_EXEC_WORKERS resolution)")
+    serve.add_argument("--sim-workers", type=int, default=1,
+                       help="Supervisor workers per simulate job "
+                            "(default 1)")
+    serve.add_argument("--cache-entries", type=int, default=256,
+                       help="result cache LRU bound (default 256)")
+    serve.add_argument("--cache-ttl", type=float, default=600.0,
+                       help="result cache TTL seconds "
+                            "(0 disables expiry; default 600)")
+    serve.add_argument("--work-dir", default="serve-jobs",
+                       help="checkpoint/manifest directory for served "
+                            "simulate jobs (default serve-jobs/)")
+    _add_obs_arguments(serve)
+    _add_exec_arguments(serve)
+
+    smt = sub.add_parser(
+        "submit", help="send one request to a running serve instance")
+    smt.add_argument("--socket", default=None, metavar="PATH",
+                     help="connect to a Unix socket at PATH")
+    smt.add_argument("--host", default="127.0.0.1")
+    smt.add_argument("--port", type=int, default=7321)
+    smt.add_argument("--op", choices=["ping", "stats", "simulate",
+                                      "mobility-bench"],
+                     default="ping")
+    smt.add_argument("-n", "--particles", type=int, default=100)
+    smt.add_argument("--phi", type=float, default=0.2)
+    smt.add_argument("--steps", type=int, default=100)
+    smt.add_argument("--seed", type=int, default=0)
+    smt.add_argument("--system-seed", type=int, default=0)
+    smt.add_argument("--repeats", type=int, default=8,
+                     help="mobility-bench: applies to send (default 8)")
+    smt.add_argument("--retries", type=int, default=10,
+                     help="Retry-After attempts on shed (default 10)")
+    smt.add_argument("--timeout", type=float, default=600.0)
+
     sub.add_parser("info", help="version and environment summary")
     return parser
 
@@ -559,6 +619,74 @@ def _cmd_config(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    return _with_obs(args, _run_serve)
+
+
+def _run_serve(args) -> int:
+    from .serve import ServeSettings, SimulationService
+
+    settings = ServeSettings(
+        socket_path=args.socket, host=args.host, port=args.port,
+        max_batch=args.max_batch, max_wait=args.max_wait,
+        max_queue_columns=args.max_queue,
+        max_inflight=args.max_inflight, max_jobs=args.max_jobs,
+        compute_threads=args.compute_threads,
+        sim_workers=args.sim_workers,
+        cache_entries=args.cache_entries,
+        cache_ttl=(None if args.cache_ttl == 0 else args.cache_ttl),
+        work_dir=args.work_dir)
+    service = SimulationService(settings)
+    where = (args.socket if args.socket is not None
+             else f"{args.host}:{args.port}")
+    print(f"repro serve: listening on {where} "
+          f"(max_batch={settings.max_batch}, "
+          f"max_wait={settings.max_wait * 1e3:g}ms, "
+          f"max_queue={settings.max_queue_columns}); "
+          f"SIGTERM/SIGINT drains gracefully")
+    service.run_forever()
+    stats = service.stats()
+    print(f"repro serve: stopped after {stats['requests_total']} "
+          f"requests ({stats['batcher']['batches_flushed']} batches, "
+          f"cache {stats['cache']['hits']} hits / "
+          f"{stats['cache']['misses']} misses)")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    import numpy as np
+
+    from .serve import ServeClient, SystemSpec
+
+    client = ServeClient(socket_path=args.socket, host=args.host,
+                         port=args.port, timeout=args.timeout,
+                         max_retries=args.retries)
+    spec = SystemSpec(n=args.particles, phi=args.phi,
+                      system_seed=args.system_seed)
+    with client:
+        if args.op == "ping":
+            print(json.dumps(client.ping(), indent=2))
+        elif args.op == "stats":
+            print(json.dumps(client.stats(), indent=2))
+        elif args.op == "simulate":
+            result = client.simulate(
+                spec, steps=args.steps, seed=args.seed,
+                on_progress=lambda step, of: print(
+                    f"  progress: {step}/{of}"))
+            print(json.dumps(result, indent=2))
+            return 0 if result.get("state") == "done" else 1
+        else:  # mobility-bench
+            rng = np.random.default_rng(args.seed)
+            for i in range(args.repeats):
+                forces = rng.standard_normal(3 * spec.n)
+                velocities = client.mobility_apply(spec, forces)
+                print(f"  apply {i}: |U| = "
+                      f"{float(np.linalg.norm(velocities)):.6e}")
+    return 0
+
+
 def _apply_exec_overrides(args) -> None:
     """Install ``--backend``/``--exec-workers`` as CLI-level config."""
     from . import config as config_mod
@@ -586,6 +714,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "lint": _cmd_lint,
         "config": _cmd_config,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
         "info": _cmd_info,
     }
     return handlers[args.command](args)

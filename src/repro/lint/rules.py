@@ -1,4 +1,4 @@
-"""The built-in physics-aware lint rules (RPR001 .. RPR011).
+"""The built-in physics-aware lint rules (RPR001 .. RPR012).
 
 Each rule encodes an invariant the paper's algorithms depend on but the
 Python type system cannot express — see ``docs/static_analysis.md`` for
@@ -584,3 +584,102 @@ class AdHocWorkerPoolRule(Rule):
                          "repro.exec.ExecutionContext (run_tasks / "
                          "thread_pool / proc_pool) so sizing, reuse and "
                          "shutdown stay centralized")
+
+
+@register
+class BlockingCallInAsyncRule(Rule):
+    """RPR012: blocking call inside an ``async def`` of the serve layer."""
+
+    meta = RuleMeta(
+        id="RPR012", name="blocking-call-in-async",
+        summary="blocking call (time.sleep, sync Connection.recv, "
+                "subprocess, blocking file I/O) inside an async def "
+                "under src/repro/serve/",
+        rationale="The serve event loop multiplexes every client over "
+                  "one thread: a single blocking call stalls request "
+                  "parsing, batch-window timers and progress streaming "
+                  "for all connections at once — the latency SLO dies "
+                  "quietly.  CPU-bound and blocking work belongs on the "
+                  "ExecutionContext thread pool via "
+                  "loop.run_in_executor, or behind the asyncio-native "
+                  "equivalent (asyncio.sleep, stream reader/writer).")
+
+    #: Dotted calls that always block the calling thread.
+    _BLOCKING_DOTTED = frozenset({
+        "time.sleep", "subprocess.run", "subprocess.call",
+        "subprocess.check_call", "subprocess.check_output",
+        "subprocess.Popen", "os.system",
+    })
+    #: Bare names (``from time import sleep``; the ``open`` builtin —
+    #: file I/O on the loop thread blocks on the filesystem).
+    _BLOCKING_BARE = frozenset({"sleep", "open"})
+    #: Method names that are synchronous waits on their object
+    #: (pipe/socket reads, process joins, blocking Path I/O).
+    _BLOCKING_METHODS = frozenset({
+        "recv", "recv_bytes", "accept", "wait_for_message",
+        "read_text", "read_bytes", "write_text", "write_bytes",
+    })
+
+    @staticmethod
+    def _applies(display_path: str) -> bool:
+        parts = display_path.replace("\\", "/").split("/")
+        filename = parts[-1] if parts else ""
+        if filename.startswith("test_") or "tests" in parts:
+            return False
+        return "serve" in parts
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        if not self._applies(ctx.display_path):
+            return
+        awaited: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Await)
+                    and isinstance(node.value, ast.Call)):
+                awaited.add(id(node.value))
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for call in self._direct_calls(func):
+                if id(call) in awaited:
+                    continue  # awaited: an async wrapper, not a block
+                label = self._blocking_label(call)
+                if label is not None:
+                    yield self.finding(
+                        ctx, call,
+                        f"blocking call {label}(...) inside "
+                        f"async def {func.name}",
+                        hint="run it via loop.run_in_executor(context."
+                             "thread_pool(), ...) or use the asyncio-"
+                             "native equivalent (asyncio.sleep, "
+                             "StreamReader/StreamWriter)")
+
+    @staticmethod
+    def _direct_calls(func: ast.AsyncFunctionDef) -> Iterator[ast.Call]:
+        """Calls in ``func``'s own body, not in nested ``def``s.
+
+        Nested synchronous functions are almost always executor
+        targets — blocking *there* is the point; nested async
+        functions are visited by the outer walk on their own.
+        """
+        stack: list[ast.AST] = list(func.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(node, ast.Call):
+                yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    @classmethod
+    def _blocking_label(cls, call: ast.Call) -> str | None:
+        dotted = _dotted(call.func)
+        if dotted is not None and dotted in cls._BLOCKING_DOTTED:
+            return dotted
+        if (isinstance(call.func, ast.Name)
+                and call.func.id in cls._BLOCKING_BARE):
+            return call.func.id
+        if isinstance(call.func, ast.Attribute):
+            if (call.func.attr in cls._BLOCKING_METHODS
+                    and dotted not in cls._BLOCKING_DOTTED):
+                return f".{call.func.attr}"
+        return None

@@ -24,10 +24,20 @@ A single :class:`MobilityCache` instance is owned by the integrator
 operator it builds; hit/miss counters make the reuse observable.
 Position-*dependent* state (``P``, the BCSR matrix) is deliberately not
 cached — it must be rebuilt when the configuration changes.
+
+**Thread safety.** Since the serve layer shares one cache-backed
+operator across a thread pool, lookups (get-or-build plus the counter
+updates) are serialized by an internal lock: a rebuild racing an apply
+gets exactly one built entry and exact hit/miss tallies.  The lock
+covers the *maps*, not the returned objects — workspace arrays are
+shared scratch, so concurrent ``apply_block`` calls against one cache
+must still be serialized externally (the batcher holds a per-operator
+lock for exactly this reason).
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Any
 
 import numpy as np
@@ -52,6 +62,7 @@ class MobilityCache:
         self._meshes: dict[tuple, Mesh] = {}
         self._influences: dict[tuple, InfluenceFunction] = {}
         self._workspaces: dict[tuple, dict[str, np.ndarray]] = {}
+        self._lock = threading.Lock()
         #: Number of cache lookups answered from the store.
         self.hits = 0
         #: Number of lookups that had to build a fresh entry.
@@ -60,30 +71,32 @@ class MobilityCache:
     def mesh(self, box: Box, K: int) -> Mesh:
         """The ``K^3`` mesh for ``box`` (built once per ``(L, K)``)."""
         key = (float(box.length), int(K))
-        mesh = self._meshes.get(key)
-        if mesh is None:
-            self.misses += 1
-            mesh = Mesh(box, K)
-            self._meshes[key] = mesh
-        else:
-            self.hits += 1
-        return mesh
+        with self._lock:
+            mesh = self._meshes.get(key)
+            if mesh is None:
+                self.misses += 1
+                mesh = Mesh(box, K)
+                self._meshes[key] = mesh
+            else:
+                self.hits += 1
+            return mesh
 
     def influence(self, mesh: Mesh, xi: float, p: int, radius: float,
                   interpolation: str, kernel: str) -> InfluenceFunction:
         """The influence function for the given physical parameters."""
         key = (float(mesh.box.length), mesh.K, float(xi), int(p),
                float(radius), interpolation, kernel)
-        influence = self._influences.get(key)
-        if influence is None:
-            self.misses += 1
-            influence = InfluenceFunction(mesh, xi, p, radius,
-                                          interpolation=interpolation,
-                                          kernel=kernel)
-            self._influences[key] = influence
-        else:
-            self.hits += 1
-        return influence
+        with self._lock:
+            influence = self._influences.get(key)
+            if influence is None:
+                self.misses += 1
+                influence = InfluenceFunction(mesh, xi, p, radius,
+                                              interpolation=interpolation,
+                                              kernel=kernel)
+                self._influences[key] = influence
+            else:
+                self.hits += 1
+            return influence
 
     def workspace(self, K: int, lanes: int, n: int
                   ) -> dict[str, np.ndarray]:
@@ -92,33 +105,37 @@ class MobilityCache:
         Returns a dict with keys ``"mesh"`` (``(lanes, K^3)`` float64),
         ``"spec"`` (``(lanes, K, K, K//2 + 1)`` complex128) and
         ``"particle"`` (``(lanes, n)`` float64).  Contents are
-        scratch — callers overwrite them fully.
+        scratch — callers overwrite them fully, and concurrent applies
+        sharing one cache must serialize around the whole apply (see
+        the module docstring).
         """
         key = (int(K), int(lanes), int(n))
-        ws = self._workspaces.get(key)
-        if ws is None:
-            self.misses += 1
-            ws = {
-                "mesh": np.empty((lanes, K ** 3)),
-                "spec": np.empty((lanes, K, K, K // 2 + 1),
-                                 dtype=np.complex128),
-                "particle": np.empty((lanes, n)),
-            }
-            self._workspaces[key] = ws
-        else:
-            self.hits += 1
-        return ws
+        with self._lock:
+            ws = self._workspaces.get(key)
+            if ws is None:
+                self.misses += 1
+                ws = {
+                    "mesh": np.empty((lanes, K ** 3)),
+                    "spec": np.empty((lanes, K, K, K // 2 + 1),
+                                     dtype=np.complex128),
+                    "particle": np.empty((lanes, n)),
+                }
+                self._workspaces[key] = ws
+            else:
+                self.hits += 1
+            return ws
 
     def memory_bytes(self) -> int:
         """Bytes currently held by cached arrays (workspaces +
         influence scalars/wavevectors + mesh grids)."""
-        total = 0
-        for ws in self._workspaces.values():
-            total += sum(a.nbytes for a in ws.values())
-        for infl in self._influences.values():
-            total += infl.memory_bytes
-            total += sum(h.nbytes for h in infl._khat)
-        return total
+        with self._lock:
+            total = 0
+            for ws in self._workspaces.values():
+                total += sum(a.nbytes for a in ws.values())
+            for infl in self._influences.values():
+                total += infl.memory_bytes
+                total += sum(h.nbytes for h in infl._khat)
+            return total
 
     def stats(self) -> dict[str, Any]:
         """Hit/miss counters and entry counts (for tests and logs)."""

@@ -38,6 +38,14 @@ class GracefulShutdown:
     impatient ``kill`` repeated by an init system does not abort the
     final checkpoint write.  Original handlers are restored on exit.
 
+    Instances are **nest-safe**: entering a second ``GracefulShutdown``
+    inside an active one (the serve loop wrapping an inner ensemble
+    drain) saves the outer handler and chains to it on delivery, so a
+    single SIGTERM trips *every* level of the stack — the inner drain
+    stops at its boundary and the outer loop still knows it must stop
+    too.  Non-``GracefulShutdown`` previous handlers are restored but
+    never invoked (the flag-only discipline stays intact).
+
     Parameters
     ----------
     on_signal:
@@ -60,6 +68,14 @@ class GracefulShutdown:
             self.signal_name = signal.Signals(signum).name
         if self._on_signal is not None:
             self._on_signal(signal.Signals(signum).name)
+        # nest-safety: an enclosing GracefulShutdown must see the
+        # signal too, or the outer loop would keep running after the
+        # inner drain finished.  Only chain to our own kind — foreign
+        # handlers expect to be *restored*, not invoked from here.
+        previous = self._previous.get(signum)
+        if (callable(previous) and isinstance(
+                getattr(previous, "__self__", None), GracefulShutdown)):
+            previous(signum, frame)
 
     def __enter__(self) -> "GracefulShutdown":
         for sig in _SHUTDOWN_SIGNALS:

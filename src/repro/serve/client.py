@@ -1,0 +1,225 @@
+"""Synchronous client library for the ``repro-serve/1`` protocol.
+
+A thin blocking wrapper around one socket connection — the shape a
+driver script or the ``repro submit`` CLI wants.  The client speaks
+the same JSON-lines framing as the server, decodes streamed
+``progress`` events into an optional callback, and turns the three
+response statuses into Python results:
+
+* ``ok``     — the ``result`` payload (arrays decoded to ``float64``);
+* ``shed``   — :class:`ServerBusy` carrying ``retry_after``; the
+  convenience methods honor it automatically up to ``max_retries``
+  times (honest Retry-After clients are what makes load shedding a
+  stable equilibrium rather than a retry storm);
+* ``error``  — :class:`ServeRequestError` with the failure kind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+from typing import Any, Callable
+
+import numpy as np
+
+from ..errors import ReproError
+from .protocol import (
+    MAX_LINE_BYTES,
+    SystemSpec,
+    decode_array,
+    encode_array,
+    encode_message,
+)
+
+__all__ = ["ServeClient", "ServerBusy", "ServeRequestError"]
+
+
+class ServerBusy(ReproError):
+    """The server shed the request; retry after ``retry_after`` s."""
+
+    def __init__(self, reason: str, retry_after: float):
+        super().__init__(f"server busy ({reason}); "
+                         f"retry after {retry_after}s")
+        self.reason = reason
+        self.retry_after = retry_after
+
+
+class ServeRequestError(ReproError):
+    """The server answered ``status: error``."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(f"[{kind}] {message}")
+        self.kind = kind
+
+
+class ServeClient:
+    """One blocking connection to a serve endpoint.
+
+    Parameters
+    ----------
+    socket_path:
+        Unix socket path (preferred for local serving).
+    host, port:
+        TCP endpoint, used when ``socket_path`` is ``None``.
+    timeout:
+        Socket timeout in seconds for connect and each response line.
+    max_retries:
+        How many times the convenience methods re-send a request the
+        server shed, sleeping the advertised ``retry_after`` between
+        attempts.  ``0`` surfaces :class:`ServerBusy` immediately.
+    """
+
+    def __init__(self, socket_path: str | None = None,
+                 host: str = "127.0.0.1", port: int | None = None,
+                 timeout: float = 120.0, max_retries: int = 0):
+        if socket_path is None and port is None:
+            raise ReproError(
+                "ServeClient needs socket_path or host+port")
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self._sock: socket.socket | None = None
+        self._file: Any = None
+        self._seq = 0
+
+    # -- connection ------------------------------------------------------
+
+    def connect(self) -> None:
+        if self._sock is not None:
+            return
+        if self.socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self.timeout)
+            sock.connect(self.socket_path)
+        else:
+            sock = socket.create_connection(
+                (self.host, int(self.port or 0)), timeout=self.timeout)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        self.connect()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- raw request/response --------------------------------------------
+
+    def _next_id(self) -> str:
+        self._seq += 1
+        return f"{os.getpid()}-{self._seq}"
+
+    def request(self, payload: dict[str, Any],
+                on_event: Callable[[dict[str, Any]], None] | None = None
+                ) -> dict[str, Any]:
+        """Send one request; stream events; return the final response.
+
+        Raises :class:`ServerBusy` on ``shed`` and
+        :class:`ServeRequestError` on ``error`` — ``ok`` responses
+        come back whole (the caller reads ``result``).
+        """
+        self.connect()
+        if self._sock is None or self._file is None:
+            raise ReproError("client is not connected")
+        if "id" not in payload:
+            payload = {**payload, "id": self._next_id()}
+        self._sock.sendall(encode_message(payload))
+        while True:
+            line = self._file.readline(MAX_LINE_BYTES + 1)
+            if not line:
+                raise ReproError("server closed the connection")
+            message = json.loads(line)
+            if "event" in message:
+                if on_event is not None:
+                    on_event(message)
+                continue
+            status = message.get("status")
+            if status == "ok":
+                return message
+            if status == "shed":
+                raise ServerBusy(str(message.get("reason")),
+                                 float(message.get("retry_after", 0.0)))
+            raise ServeRequestError(str(message.get("kind")),
+                                    str(message.get("message")))
+
+    def _with_retries(self, make_payload: Callable[[], dict[str, Any]],
+                      on_event=None) -> dict[str, Any]:
+        attempt = 0
+        while True:
+            try:
+                return self.request(make_payload(), on_event=on_event)
+            except ServerBusy as busy:
+                if attempt >= self.max_retries:
+                    raise
+                attempt += 1
+                time.sleep(busy.retry_after)
+
+    # -- convenience ops -------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})["result"]
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})["result"]
+
+    def mobility_apply(self, system: SystemSpec | dict[str, Any],
+                       forces: np.ndarray) -> np.ndarray:
+        """Served ``M @ forces``; bit-identical to a direct apply.
+
+        ``forces`` may be ``(3n,)`` or ``(3n, s)``; the result has the
+        same shape.
+        """
+        system_json = (system.to_json()
+                       if isinstance(system, SystemSpec) else system)
+        response = self._with_retries(lambda: {
+            "op": "mobility.apply", "system": system_json,
+            "forces": encode_array(np.asarray(forces, dtype=np.float64))})
+        return decode_array(response["result"]["velocities"],
+                            "velocities")
+
+    def simulate(self, system: SystemSpec | dict[str, Any], *,
+                 steps: int, seed: int = 0,
+                 on_progress: Callable[[int, int], None] | None = None,
+                 request_id: str | None = None) -> dict[str, Any]:
+        """Run (or join, or hit the cache of) a served simulation.
+
+        Returns the terminal result — ``state`` is ``"done"`` (with
+        the final-position ``digest``) or ``"drained"``.  Pass an
+        explicit ``request_id`` to be able to :meth:`cancel` the run
+        from a *second* connection (this one blocks until terminal).
+        """
+        system_json = (system.to_json()
+                       if isinstance(system, SystemSpec) else system)
+
+        def forward(event: dict[str, Any]) -> None:
+            if on_progress is not None and event.get("event") == "progress":
+                on_progress(int(event["step"]), int(event["of"]))
+
+        def payload() -> dict[str, Any]:
+            message: dict[str, Any] = {
+                "op": "simulate", "system": system_json,
+                "steps": int(steps), "seed": int(seed)}
+            if request_id is not None:
+                message["id"] = request_id
+            return message
+
+        response = self._with_retries(payload, on_event=forward)
+        return response["result"]
+
+    def cancel(self, target: str) -> dict[str, Any]:
+        """Cancel a running simulate request (by its request id)."""
+        return self.request({"op": "cancel",
+                             "target": target})["result"]

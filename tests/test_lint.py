@@ -1,4 +1,4 @@
-"""Tests of the static layer: rules RPR001-RPR011, CLI, output formats."""
+"""Tests of the static layer: rules RPR001-RPR012, CLI, output formats."""
 
 from __future__ import annotations
 
@@ -36,7 +36,7 @@ def test_at_least_ten_rules_registered():
     ids = [r.meta.id for r in rules]
     assert ids == sorted(ids)
     for expected in ([f"RPR00{k}" for k in range(1, 10)]
-                     + ["RPR010", "RPR011"]):
+                     + ["RPR010", "RPR011", "RPR012"]):
         assert expected in ids
 
 
@@ -587,3 +587,69 @@ def test_rpr011_exempts_exec_package_and_tests():
                    for f in lint_source(snippet, path)), path
     assert any(f.rule == "RPR011"
                for f in lint_source(snippet, "src/repro/pme/spread.py"))
+
+
+# ----------------------------------------------------------------------
+# RPR012 blocking calls in async serve code
+# ----------------------------------------------------------------------
+
+def serve_rule_ids(source: str) -> list[str]:
+    """Rule ids for a snippet lint-checked as a serve-layer module."""
+    return [f.rule for f in lint_source(dedent(source),
+                                        "src/repro/serve/snippet.py")]
+
+
+def test_rpr012_flags_blocking_calls_in_async_def():
+    findings = serve_rule_ids("""
+        import time
+        import subprocess
+
+        async def handler(conn):
+            time.sleep(0.1)
+            subprocess.run(["ls"])
+            data = conn.recv()
+            with open("f.txt") as fh:
+                return fh.read(), data
+    """)
+    assert findings.count("RPR012") == 4
+
+
+def test_rpr012_ignores_awaited_and_sync_contexts():
+    findings = serve_rule_ids("""
+        import asyncio
+        import time
+
+        def sync_helper():
+            time.sleep(0.1)          # sync function: fine
+
+        async def handler(loop, pool):
+            await asyncio.sleep(0.1)  # awaited: fine
+
+            def work():
+                time.sleep(1.0)       # executor target: fine
+
+            return await loop.run_in_executor(pool, work)
+    """)
+    assert "RPR012" not in findings
+
+
+def test_rpr012_only_applies_to_serve_paths():
+    snippet = dedent("""
+        import time
+
+        async def poll():
+            time.sleep(0.5)
+    """)
+    assert any(f.rule == "RPR012" for f in lint_source(
+        snippet, "src/repro/serve/jobs.py"))
+    for path in ("src/repro/runtime/worker.py",
+                 "tests/serve/test_x.py", "tests/test_serve.py"):
+        assert all(f.rule != "RPR012"
+                   for f in lint_source(snippet, path)), path
+
+
+def test_rpr012_serve_package_is_clean():
+    findings, files_checked = lint_paths(
+        [str(SRC_DIR / "repro" / "serve")])
+    assert files_checked >= 7
+    assert [f for f in findings if f.rule == "RPR012"] == []

@@ -387,3 +387,40 @@ class TestCliRoundTrip:
         assert n_blocks == 1
         n_steps = sum(1 for e in events if e["name"] == "bd.propagate")
         assert n_steps == 3
+
+
+class TestHistogramQuantileEdges:
+    def test_empty_histogram_returns_none(self):
+        hist = obs.MetricsRegistry().histogram("h", buckets=(1, 10))
+        assert hist.quantile(0.5) is None
+        assert hist.quantile(0.0) is None
+
+    def test_quantile_out_of_range_raises(self):
+        hist = obs.MetricsRegistry().histogram("h", buckets=(1, 10))
+        hist.observe(2)
+        with pytest.raises(ConfigurationError):
+            hist.quantile(-0.1)
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+
+    def test_single_observation_clamps_to_the_value(self):
+        hist = obs.MetricsRegistry().histogram("h", buckets=(1, 10, 100))
+        hist.observe(7.0)
+        # every quantile of one observation is that observation,
+        # regardless of which bucket it interpolates inside
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 7.0
+
+    def test_all_mass_in_one_bucket_stays_within_min_max(self):
+        hist = obs.MetricsRegistry().histogram("h", buckets=(1, 10, 100))
+        for v in (3.0, 4.0, 5.0):
+            hist.observe(v)
+        for q in (0.1, 0.5, 0.9):
+            assert 3.0 <= hist.quantile(q) <= 5.0
+
+    def test_mass_beyond_last_finite_bucket_returns_max(self):
+        hist = obs.MetricsRegistry().histogram("h", buckets=(1, 10))
+        for v in (50.0, 70.0, 90.0):
+            hist.observe(v)          # all land in the +Inf bucket
+        assert hist.quantile(0.5) == 90.0
+        assert hist.quantile(0.99) == 90.0

@@ -537,3 +537,42 @@ def test_traced_fault_campaign_observability(tmp_path):
              if e["ph"] == "M" and e["name"] == "process_name"]
     assert names[0] == "supervisor"
     assert {f"worker-{w}" for w in recovered} <= set(names)
+
+
+def test_graceful_shutdown_nested_contexts_all_trigger():
+    inner_seen, outer_seen = [], []
+    before = signal.getsignal(signal.SIGTERM)
+    with GracefulShutdown(on_signal=outer_seen.append) as outer:
+        with GracefulShutdown(on_signal=inner_seen.append) as inner:
+            os.kill(os.getpid(), signal.SIGTERM)
+            # one signal trips the whole stack: the inner handler
+            # chains delivery to the outer GracefulShutdown
+            assert inner.triggered and outer.triggered
+            assert inner_seen == ["SIGTERM"]
+            assert outer_seen == ["SIGTERM"]
+        # inner exit restored the outer handler; a second signal
+        # still reaches the (already triggered) outer context
+        os.kill(os.getpid(), signal.SIGTERM)
+        assert outer_seen == ["SIGTERM", "SIGTERM"]
+    assert signal.getsignal(signal.SIGTERM) is before
+
+
+def test_graceful_shutdown_does_not_invoke_foreign_handlers():
+    foreign_calls = []
+
+    def foreign(signum, frame):
+        foreign_calls.append(signum)
+
+    before = signal.getsignal(signal.SIGTERM)
+    signal.signal(signal.SIGTERM, foreign)
+    try:
+        with GracefulShutdown() as shutdown:
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert shutdown.triggered
+            # the foreign handler is *restored*, never *chained*
+            assert foreign_calls == []
+        assert signal.getsignal(signal.SIGTERM) is foreign
+        os.kill(os.getpid(), signal.SIGTERM)
+        assert foreign_calls == [signal.SIGTERM]
+    finally:
+        signal.signal(signal.SIGTERM, before)
